@@ -1,0 +1,96 @@
+"""Ablation: the interleaving-reduction test of consequence prediction.
+
+Removing the ``localExplored`` test of Figure 8 line 17 turns consequence
+prediction back into the exhaustive search of Figure 5 (Section 3.2 makes
+this point explicitly).  This ablation runs both algorithms from the same
+live snapshot with the same state budget and compares depth reached, states
+needed to find the first CrystalBall bug, and interleavings skipped; a
+second sweep varies the snapshot (neighbourhood) size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import consequence_prediction
+from repro.mc import GlobalState, SearchBudget, find_errors
+from repro.runtime import make_addresses
+from repro.systems import randtree
+
+from .conftest import make_system
+
+BUDGET = SearchBudget(max_states=4000, max_depth=9)
+
+
+def _compare_on_figure2():
+    scenario = randtree.Figure2Scenario.build()
+    system = make_system(scenario.protocol)
+    snapshot = scenario.global_state()
+    cp = consequence_prediction(system, snapshot, randtree.ALL_PROPERTIES, BUDGET)
+    bfs = find_errors(system, snapshot, randtree.ALL_PROPERTIES, BUDGET)
+    return cp, bfs
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_interleaving_reduction(benchmark):
+    cp, bfs = benchmark.pedantic(_compare_on_figure2, rounds=1, iterations=1)
+    print("\nAblation — consequence prediction vs exhaustive search "
+          "(Figure 2 snapshot, equal budget)")
+    print(f"  consequence prediction: depth {cp.stats.max_depth_reached}, "
+          f"{cp.stats.states_visited} states, "
+          f"{len(cp.unique_property_names())} distinct bugs, "
+          f"{cp.stats.internal_actions_skipped} interleavings skipped")
+    print(f"  exhaustive search:      depth {bfs.stats.max_depth_reached}, "
+          f"{bfs.stats.states_visited} states, "
+          f"{len(bfs.unique_property_names())} distinct bugs")
+    benchmark.extra_info.update({
+        "cp_depth": cp.stats.max_depth_reached,
+        "bfs_depth": bfs.stats.max_depth_reached,
+        "cp_bugs": sorted(cp.unique_property_names()),
+        "bfs_bugs": sorted(bfs.unique_property_names()),
+    })
+    assert cp.stats.max_depth_reached >= bfs.stats.max_depth_reached
+    assert "randtree.children_siblings_disjoint" in cp.unique_property_names()
+    assert cp.stats.internal_actions_skipped > 0
+
+
+def _snapshot_size_sweep():
+    rows = []
+    for node_count in (2, 3, 5):
+        addrs = make_addresses(node_count, start=1)
+        protocol = randtree.RandTree(randtree.RandTreeConfig(bootstrap=(addrs[0],),
+                                                             max_children=2))
+        states = {}
+        root = protocol.initial_state(addrs[0])
+        root.joined = True
+        root.root = addrs[0]
+        root.children = set(addrs[1:3])
+        root.refresh_peers()
+        states[addrs[0]] = root
+        for child in addrs[1:]:
+            state = protocol.initial_state(child)
+            state.joined = True
+            state.root = addrs[0]
+            state.parent = addrs[0]
+            state.refresh_peers()
+            states[child] = state
+        snapshot = GlobalState.from_snapshot(
+            states, timers={a: [randtree.RECOVERY_TIMER] for a in addrs})
+        result = consequence_prediction(make_system(protocol), snapshot,
+                                        randtree.ALL_PROPERTIES, BUDGET)
+        rows.append((node_count, result.stats.states_visited,
+                     result.stats.max_depth_reached,
+                     len(result.unique_property_names())))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_snapshot_size(benchmark):
+    rows = benchmark.pedantic(_snapshot_size_sweep, rounds=1, iterations=1)
+    print("\nAblation — neighbourhood (snapshot) size vs search effort")
+    print(f"{'nodes':>5} {'states':>8} {'depth':>6} {'bugs':>5}")
+    for nodes, states, depth, bugs in rows:
+        print(f"{nodes:>5} {states:>8} {depth:>6} {bugs:>5}")
+    benchmark.extra_info["rows"] = rows
+    # Larger neighbourhoods cost more states for the same budget/depth.
+    assert rows[-1][1] >= rows[0][1]

@@ -1,0 +1,55 @@
+"""Figure 12: elapsed time of exhaustive search as a function of depth.
+
+The paper shows the exponential growth of MaceMC's exhaustive search on
+RandTree with 5 nodes (hours by depth 12-13).  We measure the elapsed time
+and visited states of our Figure 5 implementation for increasing depth
+bounds and check the exponential shape via consecutive-depth growth ratios.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import growth_ratios
+from repro.mc import GlobalState, SearchBudget, find_errors
+from repro.runtime import make_addresses
+from repro.systems import randtree
+
+from .conftest import make_system
+
+DEPTHS = [1, 2, 3, 4, 5]
+
+
+def _initial_state():
+    addrs = make_addresses(5)
+    protocol = randtree.RandTree(randtree.RandTreeConfig(bootstrap=(addrs[0],)))
+    states = {a: protocol.initial_state(a) for a in addrs}
+    timers = {a: [randtree.JOIN_TIMER] for a in addrs}
+    return protocol, GlobalState.from_snapshot(states, timers=timers)
+
+
+def _sweep():
+    protocol, start = _initial_state()
+    system = make_system(protocol, resets=False)
+    rows = []
+    for depth in DEPTHS:
+        result = find_errors(system, start, randtree.ALL_PROPERTIES,
+                             SearchBudget(max_states=200_000, max_depth=depth))
+        rows.append((depth, result.stats.states_visited,
+                     result.stats.elapsed_seconds))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig12")
+def test_fig12_exhaustive_search_growth(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print("\nFigure 12 — exhaustive search on RandTree (5 nodes)")
+    print(f"{'depth':>5} {'states':>10} {'seconds':>9}")
+    for depth, states, seconds in rows:
+        print(f"{depth:>5} {states:>10} {seconds:>9.3f}")
+    state_counts = [states for _, states, _ in rows]
+    ratios = growth_ratios([float(s) for s in state_counts])
+    benchmark.extra_info.update({"rows": rows, "growth_ratios": ratios})
+    # Exponential blow-up: each extra level multiplies the explored states.
+    assert all(ratio >= 1.5 for ratio in ratios[1:])
+    assert state_counts[-1] > 20 * state_counts[0]

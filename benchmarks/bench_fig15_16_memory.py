@@ -1,0 +1,51 @@
+"""Figures 15 and 16: consequence-prediction memory versus search depth.
+
+Figure 15 shows the memory consumed by consequence prediction growing with
+depth but staying around a megabyte at the depths CrystalBall uses (7-8);
+Figure 16 shows the per-state memory converging to roughly 150 bytes.  We
+report our search-tree memory estimate and bytes-per-state for increasing
+depth bounds on the Figure 2 RandTree snapshot.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import consequence_prediction
+from repro.mc import SearchBudget
+from repro.systems import randtree
+
+from .conftest import make_system
+
+DEPTHS = [2, 3, 4, 5, 6, 7]
+
+
+def _sweep():
+    scenario = randtree.Figure2Scenario.build()
+    system = make_system(scenario.protocol)
+    rows = []
+    for depth in DEPTHS:
+        result = consequence_prediction(
+            system, scenario.global_state(), randtree.ALL_PROPERTIES,
+            SearchBudget(max_states=60_000, max_depth=depth))
+        stats = result.stats
+        rows.append((depth, stats.states_visited, stats.peak_memory_bytes,
+                     stats.memory_per_state()))
+    return rows
+
+
+@pytest.mark.benchmark(group="fig15-16")
+def test_fig15_fig16_memory_growth_and_per_state_cost(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    print("\nFigures 15/16 — consequence prediction memory (Figure 2 snapshot)")
+    print(f"{'depth':>5} {'states':>8} {'memory (kB)':>12} {'bytes/state':>12}")
+    for depth, states, memory, per_state in rows:
+        print(f"{depth:>5} {states:>8} {memory / 1024:>12.1f} {per_state:>12.1f}")
+    benchmark.extra_info["rows"] = rows
+    memories = [memory for _, _, memory, _ in rows]
+    per_state = [value for _, _, _, value in rows]
+    # Memory grows with depth (Figure 15)...
+    assert memories[-1] > memories[0]
+    # ... and the per-state cost stabilises rather than diverging (Figure 16):
+    # the last two depths agree within a factor of two.
+    assert per_state[-1] < 2 * per_state[-2] + 1

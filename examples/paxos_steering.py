@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Steering Paxos away from injected consensus-safety bugs (Figures 13/14).
+
+Runs the scripted Figure 13 scenario for both injected bugs in three
+configurations (CrystalBall off, execution steering, immediate safety check
+only) and reports whether the agreement property — at most one value chosen —
+was preserved.
+
+Run with::
+
+    python examples/paxos_steering.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import Mode
+from repro.systems.paxos import Figure13Scenario
+
+
+def main() -> None:
+    rows = []
+    for bug in (1, 2):
+        for mode, label in [(Mode.OFF, "off"),
+                            (Mode.STEERING, "steering"),
+                            (Mode.ISC_ONLY, "ISC only")]:
+            scenario = Figure13Scenario(bug=bug, inter_round_delay=20.0,
+                                        crystalball_mode=mode, seed=17)
+            print(f"bug{bug} / {label}: running the Figure 13 schedule ...")
+            result = scenario.run()
+            rows.append([
+                f"bug{bug}",
+                label,
+                "violated" if result.violation_occurred else "safe",
+                sorted(result.chosen_values),
+                result.steering_filters_triggered,
+                result.isc_blocks,
+            ])
+
+    print()
+    print(format_table(
+        ["bug", "CrystalBall", "agreement", "chosen values",
+         "filter triggers", "ISC blocks"],
+        rows,
+        title="Paxos safety under injected bugs (cf. Figures 13 and 14)",
+    ))
+    print("\nThe paper's 200-run experiment: execution steering avoids the "
+          "inconsistency in 87% (bug1) and 85% (bug2) of runs, the immediate "
+          "safety check in another 11%, leaving 2% / 5% uncaught.")
+
+
+if __name__ == "__main__":
+    main()

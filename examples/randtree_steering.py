@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Execution steering on a live RandTree deployment (Figures 2 and 3, §5.4.1).
+
+Three configurations of the same churn workload are compared:
+
+1. CrystalBall off — the deployed system reaches inconsistent states;
+2. immediate safety check only — imminent violations are blocked as they
+   are about to happen;
+3. execution steering + immediate safety check — consequence prediction
+   installs event filters ahead of time and the fallback catches the rest.
+
+Run with::
+
+    python examples/randtree_steering.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core import CrystalBallConfig, Mode
+from repro.mc import SearchBudget, TransitionConfig
+from repro.runtime import NetworkModel
+from repro.sim import OverlayWorkload
+from repro.systems.randtree import ALL_PROPERTIES, RandTree, RandTreeConfig
+
+
+def run_mode(mode: Mode, *, nodes: int = 8, duration: float = 300.0, seed: int = 5):
+    addresses_start = 1
+    bootstrap_config = RandTreeConfig(bootstrap=(), max_children=2)
+    workload = OverlayWorkload(
+        protocol_factory=lambda: RandTree(bootstrap_config),
+        properties=ALL_PROPERTIES,
+        node_count=nodes,
+        duration=duration,
+        churn_mean_interval=60.0,
+        crystalball_mode=mode,
+        crystalball_config=CrystalBallConfig(
+            mode=mode,
+            search_budget=SearchBudget(max_states=400, max_depth=6),
+            transition=TransitionConfig(enable_resets=True, max_resets_per_node=1),
+        ),
+        network=NetworkModel(rst_loss_probability=0.5),
+        seed=seed,
+        address_start=addresses_start,
+    )
+    # All nodes share the same bootstrap node (the first address).
+    bootstrap_config.bootstrap = (workload.addresses()[0],)
+    return workload.run()
+
+
+def main() -> None:
+    rows = []
+    for mode, label in [(Mode.OFF, "CrystalBall off"),
+                        (Mode.ISC_ONLY, "immediate safety check only"),
+                        (Mode.STEERING, "execution steering + ISC")]:
+        print(f"Running RandTree churn workload with: {label} ...")
+        result = run_mode(mode)
+        rows.append([
+            label,
+            result.monitor.inconsistent_states,
+            result.total_predicted(),
+            result.total_steered(),
+            result.total_unhelpful(),
+            result.total_isc_blocks(),
+            result.churn_events,
+        ])
+
+    print()
+    print(format_table(
+        ["configuration", "live inconsistent states", "predicted", "steered",
+         "unhelpful", "ISC blocks", "churn events"],
+        rows,
+        title="RandTree execution steering (cf. Section 5.4.1)",
+    ))
+    print("\nIn the paper's 1.4 h, 25-node run: 121 inconsistent states with "
+          "CrystalBall off, 325 ISC engagements in ISC-only mode, and with "
+          "steering active 480 predictions / 415 behaviour changes / 160 ISC "
+          "fallbacks and no uncaught violation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""repro — a reproduction of CrystalBall (NSDI 2009).
+
+CrystalBall runs a model checker concurrently with a deployed distributed
+system: each node collects a consistent snapshot of its neighbourhood, runs
+*consequence prediction* to find future violations of safety properties, and
+either reports them (deep online debugging) or installs event filters that
+steer execution away from them (execution steering).
+
+Package layout
+--------------
+``repro.runtime``
+    Distributed-system substrate: protocols as state machines, discrete-event
+    simulator, network model with TCP failure semantics, churn.
+``repro.mc``
+    Model-checking substrate: global states, exhaustive BFS (the MaceMC
+    baseline), random walks, safety properties.
+``repro.core``
+    CrystalBall itself: consequence prediction, checkpoint manager and
+    consistent neighbourhood snapshots, controller, execution steering,
+    immediate safety check.
+``repro.systems``
+    The evaluated services: RandTree, Chord, Bullet' and Paxos, re-implemented
+    with the paper's inconsistencies (and the suggested fixes behind flags).
+``repro.sim``
+    INET-like topology generation, workloads and traces.
+``repro.analysis``
+    Statistics and table/figure formatting used by the benchmark harness.
+"""
+
+from . import analysis, core, mc, runtime, sim, systems
+
+__version__ = "1.0.0"
+
+__all__ = ["analysis", "core", "mc", "runtime", "sim", "systems", "__version__"]

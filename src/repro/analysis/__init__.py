@@ -1,0 +1,27 @@
+"""Statistics and reporting helpers for the benchmark harness."""
+
+from .reporting import ExperimentLog, ExperimentRecord, format_table
+from .stats import (
+    CdfPoint,
+    empirical_cdf,
+    growth_ratios,
+    mean,
+    median,
+    percentile,
+    slowdown,
+    stddev,
+)
+
+__all__ = [
+    "ExperimentLog",
+    "ExperimentRecord",
+    "format_table",
+    "CdfPoint",
+    "empirical_cdf",
+    "growth_ratios",
+    "mean",
+    "median",
+    "percentile",
+    "slowdown",
+    "stddev",
+]

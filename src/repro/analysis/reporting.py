@@ -1,0 +1,70 @@
+"""Table and figure formatting for the benchmark harness.
+
+Every benchmark regenerates the rows or series of one table/figure of the
+paper; these helpers print them in a consistent, plain-text form so the
+benchmark output can be compared side-by-side with the paper
+(EXPERIMENTS.md records that comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                 *, title: str = "") -> str:
+    """Render an aligned plain-text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+@dataclass
+class ExperimentRecord:
+    """Paper-vs-measured record for one experiment (EXPERIMENTS.md rows)."""
+
+    experiment: str
+    paper_result: str
+    measured_result: str
+    notes: str = ""
+
+    def as_row(self) -> list[str]:
+        return [self.experiment, self.paper_result, self.measured_result, self.notes]
+
+
+@dataclass
+class ExperimentLog:
+    """Collects experiment records across a benchmark session."""
+
+    records: list[ExperimentRecord] = field(default_factory=list)
+
+    def add(self, experiment: str, paper_result: str, measured_result: str,
+            notes: str = "") -> ExperimentRecord:
+        record = ExperimentRecord(experiment=experiment, paper_result=paper_result,
+                                  measured_result=measured_result, notes=notes)
+        self.records.append(record)
+        return record
+
+    def render(self) -> str:
+        return format_table(
+            ["Experiment", "Paper", "Measured", "Notes"],
+            [r.as_row() for r in self.records],
+            title="Paper vs measured",
+        )

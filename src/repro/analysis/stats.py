@@ -1,0 +1,88 @@
+"""Statistics helpers used by the benchmark harness."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def median(values: Sequence[float]) -> float:
+    """Median; 0.0 for an empty sequence."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    mid = len(ordered) // 2
+    if len(ordered) % 2 == 1:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile (``fraction`` in [0, 1])."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    position = fraction * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    if low == high:
+        return ordered[low]
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two samples."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    m = mean(values)
+    return math.sqrt(sum((v - m) ** 2 for v in values) / len(values))
+
+
+@dataclass(frozen=True)
+class CdfPoint:
+    """One point of an empirical CDF."""
+
+    value: float
+    fraction: float
+
+
+def empirical_cdf(values: Sequence[float]) -> list[CdfPoint]:
+    """Empirical CDF of ``values`` (Figure 17 plots these)."""
+    ordered = sorted(values)
+    count = len(ordered)
+    return [CdfPoint(value=v, fraction=(i + 1) / count)
+            for i, v in enumerate(ordered)]
+
+
+def slowdown(baseline: Sequence[float], treatment: Sequence[float]) -> float:
+    """Relative slowdown of ``treatment`` vs ``baseline`` medians.
+
+    Positive values mean the treatment is slower; Figure 17 reports a
+    slowdown below 10 % for Bullet' under CrystalBall.
+    """
+    base = median(baseline)
+    if base == 0:
+        return 0.0
+    return (median(treatment) - base) / base
+
+
+def growth_ratios(values: Sequence[float]) -> list[float]:
+    """Ratios between consecutive values (used to check exponential growth)."""
+    ratios = []
+    for previous, current in zip(values, values[1:]):
+        if previous > 0:
+            ratios.append(current / previous)
+    return ratios

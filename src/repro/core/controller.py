@@ -1,0 +1,420 @@
+"""The CrystalBall controller (Section 3, Figure 7).
+
+One controller instance is attached to every CrystalBall-enabled node.  It
+implements the runtime's :class:`~repro.runtime.simulator.NodeHook`
+interface and ties together all the pieces:
+
+* the **checkpoint manager**: periodic local checkpoints, forced checkpoints
+  driven by the logical clock, neighbourhood snapshot gathering over
+  control-plane messages, storage quotas and bandwidth accounting;
+* the **model checker**: replaying previously discovered error paths, then
+  running consequence prediction on the latest consistent snapshot;
+* **deep online debugging**: recording predicted violations;
+* **execution steering**: deriving event filters from predictions, vetting
+  them, installing them into the runtime, and removing them after every
+  model-checking run;
+* the **immediate safety check** fallback.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..mc.global_state import GlobalState
+from ..mc.properties import SafetyProperty
+from ..mc.search import PredictedViolation, SearchBudget, SearchResult
+from ..mc.transition import TransitionConfig, TransitionSystem
+from ..runtime.address import Address
+from ..runtime.events import Event, MessageEvent, TimerEvent
+from ..runtime.messages import Message, Transport
+from ..runtime.protocol import Protocol
+from ..runtime.simulator import FilterAction, SimNode, Simulator
+from .checkpoint import Checkpoint, CheckpointStore, PeerTransferCache
+from .consequence import consequence_prediction
+from .event_filter import EventFilter
+from .immediate import ImmediateSafetyCheck
+from .replay import replay_error_path
+from .snapshot import NeighborhoodSnapshot, SnapshotGather
+from .steering import SteeringDecision, evaluate_violation
+
+#: Control-plane message types used by the checkpoint manager.
+CHECKPOINT_REQUEST = "_cb_checkpoint_request"
+CHECKPOINT_RESPONSE = "_cb_checkpoint_response"
+CHECKPOINT_NEGATIVE = "_cb_checkpoint_negative"
+
+
+class Mode(enum.Enum):
+    """Operating modes of CrystalBall (Section 3 and the evaluation)."""
+
+    OFF = "off"
+    #: Only report predicted violations (deep online debugging).
+    DEBUG = "debug"
+    #: Predict violations and steer execution away from them.
+    STEERING = "steering"
+    #: Only the immediate safety check, no consequence prediction
+    #: (the middle configuration of Section 5.4.1).
+    ISC_ONLY = "isc-only"
+
+
+@dataclass
+class CrystalBallConfig:
+    """Tunable parameters of one controller."""
+
+    mode: Mode = Mode.DEBUG
+    #: Budget for each consequence-prediction run.
+    search_budget: SearchBudget = field(
+        default_factory=lambda: SearchBudget(max_states=2000, max_depth=8))
+    #: Budget for filter-safety re-checks.
+    safety_budget: SearchBudget = field(
+        default_factory=lambda: SearchBudget(max_states=300, max_depth=6,
+                                             stop_at_first_violation=True))
+    transition: TransitionConfig = field(default_factory=TransitionConfig)
+    checkpoint_quota: int = 16
+    #: Outbound bandwidth limit for checkpoint traffic, bytes per tick
+    #: (None = unlimited; Section 3.1 "Managing Bandwidth Consumption").
+    checkpoint_bandwidth_limit: Optional[int] = None
+    #: Enable the immediate safety check fallback.
+    immediate_check: bool = True
+    #: Vet filters with a consequence-prediction run before installing them.
+    check_filter_safety: bool = True
+    #: Maximum error paths remembered for replay.
+    max_remembered_paths: int = 32
+    #: When a neighbour does not answer a checkpoint request (partition,
+    #: failure), fall back to the most recent checkpoint previously received
+    #: from it instead of dropping it from the snapshot.  Slightly stale
+    #: state is preferable to a blind spot; the paper attributes its Paxos
+    #: false negatives to exactly such missing checkpoints.
+    reuse_cached_checkpoints: bool = True
+
+
+@dataclass
+class ControllerStats:
+    """Counters reported in Sections 5.4 and 5.5."""
+
+    ticks: int = 0
+    model_checker_runs: int = 0
+    snapshots_collected: int = 0
+    incomplete_snapshots: int = 0
+    checkpoints_taken: int = 0
+    forced_checkpoints: int = 0
+    checkpoint_bytes_sent: int = 0
+    checkpoint_requests_sent: int = 0
+    checkpoint_responses_sent: int = 0
+    negative_responses_sent: int = 0
+    violations_predicted: int = 0
+    distinct_violations: set[str] = field(default_factory=set)
+    steering_modified_behavior: int = 0
+    steering_unhelpful: int = 0
+    filters_installed: int = 0
+    filters_triggered: int = 0
+    isc_checks: int = 0
+    isc_blocks: int = 0
+    replayed_paths: int = 0
+    replay_reproduced: int = 0
+
+
+class CrystalBallController:
+    """Per-node CrystalBall controller; implements the runtime NodeHook."""
+
+    def __init__(
+        self,
+        addr: Address,
+        protocol: Protocol,
+        properties: Sequence[SafetyProperty],
+        config: Optional[CrystalBallConfig] = None,
+    ) -> None:
+        self.addr = addr
+        self.protocol = protocol
+        self.properties = list(properties)
+        self.config = config or CrystalBallConfig()
+
+        self.system = TransitionSystem(protocol, self.config.transition)
+        self.store = CheckpointStore(quota=self.config.checkpoint_quota)
+        self.transfer_cache = PeerTransferCache()
+        self.isc = ImmediateSafetyCheck(self.system, self.properties)
+
+        self.stats = ControllerStats()
+        self.filters: list[EventFilter] = []
+        self.known_error_paths: list[tuple[Event, ...]] = []
+        self.predicted: list[PredictedViolation] = []
+        self.last_snapshot: Optional[NeighborhoodSnapshot] = None
+        self.last_result: Optional[SearchResult] = None
+        self._pending_gather: Optional[SnapshotGather] = None
+        #: most recent checkpoint received from each peer (possibly stale),
+        #: used to fill in snapshot members that did not answer in time.
+        self.peer_checkpoints: dict[Address, Checkpoint] = {}
+
+    # ------------------------------------------------------------------ NodeHook
+
+    def on_tick(self, sim: Simulator, node: SimNode) -> None:
+        """Periodic controller activity: finalise the previous snapshot
+        round, run the model checker on it, and start a new round."""
+        self.stats.ticks += 1
+
+        local = self._take_checkpoint(node, node.clock.advance())
+
+        if self._pending_gather is not None:
+            snapshot = NeighborhoodSnapshot.from_gather(
+                self._pending_gather, local, at_time=sim.now)
+            if self._pending_gather.missing or self._pending_gather.negative:
+                self.stats.incomplete_snapshots += 1
+            if self.config.reuse_cached_checkpoints:
+                for missing in list(snapshot.missing):
+                    cached = self.peer_checkpoints.get(missing)
+                    if cached is not None:
+                        snapshot.checkpoints[missing] = cached
+                snapshot.missing = frozenset(
+                    snapshot.missing - set(snapshot.checkpoints))
+            self.last_snapshot = snapshot
+            self.stats.snapshots_collected += 1
+            if self.config.mode in (Mode.DEBUG, Mode.STEERING):
+                self._run_model_checker(node, snapshot)
+            self._pending_gather = None
+
+        self._start_gather(sim, node, local)
+
+    def filter_event(self, sim: Simulator, node: SimNode, event: Event) -> FilterAction:
+        if self.config.mode is not Mode.STEERING:
+            return FilterAction.ALLOW
+        for event_filter in self.filters:
+            if event_filter.matches(event):
+                event_filter.times_triggered += 1
+                self.stats.filters_triggered += 1
+                return event_filter.decision(event)
+        return FilterAction.ALLOW
+
+    def immediate_safety_check(self, sim: Simulator, node: SimNode, event: Event) -> bool:
+        if self.config.mode is Mode.OFF or not self.config.immediate_check:
+            return True
+        if self.config.mode is Mode.DEBUG:
+            return True
+        self.stats.isc_checks += 1
+        neighborhood = (self.last_snapshot.to_global_state()
+                        if self.last_snapshot is not None else None)
+        outcome = self.isc.check(node.addr, node.state, node.timer_names(),
+                                 event, neighborhood=neighborhood)
+        if not outcome.allowed:
+            self.stats.isc_blocks += 1
+        return outcome.allowed
+
+    def handle_control_message(self, sim: Simulator, node: SimNode, message: Message) -> None:
+        if message.mtype == CHECKPOINT_REQUEST:
+            self._answer_checkpoint_request(sim, node, message)
+        elif message.mtype == CHECKPOINT_RESPONSE:
+            self._record_checkpoint_response(message)
+        elif message.mtype == CHECKPOINT_NEGATIVE:
+            self._record_negative_response(message)
+
+    def on_event_executed(self, sim: Simulator, node: SimNode, event: Event) -> None:
+        return None
+
+    def on_forced_checkpoint(self, sim: Simulator, node: SimNode) -> None:
+        self.stats.forced_checkpoints += 1
+        self._take_checkpoint(node, node.clock.value)
+
+    # --------------------------------------------------------------- checkpointing
+
+    def _take_checkpoint(self, node: SimNode, checkpoint_number: int) -> Checkpoint:
+        checkpoint = Checkpoint(node=node.addr,
+                                checkpoint_number=checkpoint_number,
+                                state=node.state.clone(),
+                                timers=node.timer_names())
+        self.store.record(checkpoint)
+        self.stats.checkpoints_taken += 1
+        return checkpoint
+
+    def _start_gather(self, sim: Simulator, node: SimNode, local: Checkpoint) -> None:
+        neighbors = [n for n in self.protocol.neighbors(node.state) if n != node.addr]
+        gather = SnapshotGather(origin=node.addr,
+                                checkpoint_number=local.checkpoint_number,
+                                expected=frozenset(neighbors),
+                                started_at=sim.now)
+        self._pending_gather = gather
+        for neighbor in neighbors:
+            request = Message(
+                mtype=CHECKPOINT_REQUEST,
+                src=node.addr,
+                dst=neighbor,
+                payload={"cn": local.checkpoint_number},
+                transport=Transport.TCP,
+                control=True,
+            )
+            sim.transmit(node.addr, request)
+            self.stats.checkpoint_requests_sent += 1
+
+    def _answer_checkpoint_request(self, sim: Simulator, node: SimNode,
+                                   message: Message) -> None:
+        requested = int(message.get("cn", 0))
+        requester = message.src
+
+        if self.config.checkpoint_bandwidth_limit is not None:
+            budget = self.config.checkpoint_bandwidth_limit * max(self.stats.ticks, 1)
+            if self.stats.checkpoint_bytes_sent >= budget:
+                self._send_negative(sim, node, requester)
+                return
+
+        if node.clock.observe_request(requested):
+            checkpoint = self._take_checkpoint(node, requested)
+        else:
+            checkpoint = self.store.respond(requested)
+        if checkpoint is None:
+            self._send_negative(sim, node, requester)
+            return
+
+        cost = self.transfer_cache.transfer_cost(requester, checkpoint)
+        self.stats.checkpoint_bytes_sent += cost
+        response = Message(
+            mtype=CHECKPOINT_RESPONSE,
+            src=node.addr,
+            dst=requester,
+            payload={
+                "cn": checkpoint.checkpoint_number,
+                "state": checkpoint.state.clone(),
+                "timers": checkpoint.timers,
+                "bytes": cost,
+            },
+            transport=Transport.TCP,
+            control=True,
+        )
+        sim.transmit(node.addr, response)
+        self.stats.checkpoint_responses_sent += 1
+
+    def _send_negative(self, sim: Simulator, node: SimNode, requester: Address) -> None:
+        response = Message(
+            mtype=CHECKPOINT_NEGATIVE,
+            src=node.addr,
+            dst=requester,
+            payload={"cn": node.clock.value},
+            transport=Transport.TCP,
+            control=True,
+        )
+        sim.transmit(node.addr, response)
+        self.stats.negative_responses_sent += 1
+
+    def _record_checkpoint_response(self, message: Message) -> None:
+        if self._pending_gather is None:
+            return
+        checkpoint = Checkpoint(node=message.src,
+                                checkpoint_number=int(message.get("cn", 0)),
+                                state=message.get("state"),
+                                timers=frozenset(message.get("timers", ())))
+        self.peer_checkpoints[message.src] = checkpoint
+        self._pending_gather.record_response(checkpoint)
+
+    def _record_negative_response(self, message: Message) -> None:
+        if self._pending_gather is None:
+            return
+        self._pending_gather.record_negative(message.src, int(message.get("cn", 0)))
+
+    # -------------------------------------------------------------- model checking
+
+    def _run_model_checker(self, node: SimNode, snapshot: NeighborhoodSnapshot) -> None:
+        self.stats.model_checker_runs += 1
+        start_state = snapshot.to_global_state()
+
+        # Filters are removed after every model-checking run (Section 3.3);
+        # previously discovered error paths are replayed first and, if the
+        # problem reappears, the filter is immediately reinstalled.
+        self.filters = []
+        reproduced: list[PredictedViolation] = []
+        for path in list(self.known_error_paths):
+            self.stats.replayed_paths += 1
+            replay = replay_error_path(self.system, start_state, path, self.properties)
+            if replay.reproduced:
+                self.stats.replay_reproduced += 1
+                reproduced.append(
+                    PredictedViolation(violation=replay.violations[0], path=path,
+                                       depth=replay.steps_executed,
+                                       state_hash=replay.final_state.state_hash()))
+
+        result = consequence_prediction(self.system, start_state, self.properties,
+                                        self.config.search_budget)
+        self.last_result = result
+
+        # Violations with an empty path are already present in the snapshot
+        # itself — they are live inconsistencies, not predictions, and there
+        # is no handler invocation left to steer around.
+        future = [v for v in result.violations if v.path]
+        all_violations = reproduced + future
+        for violation in all_violations:
+            self.stats.violations_predicted += 1
+            self.stats.distinct_violations.add(violation.violation.property_name)
+        self.predicted.extend(future)
+
+        for violation in future:
+            if violation.path and violation.path not in self.known_error_paths:
+                self.known_error_paths.append(violation.path)
+        if len(self.known_error_paths) > self.config.max_remembered_paths:
+            self.known_error_paths = self.known_error_paths[-self.config.max_remembered_paths:]
+
+        if self.config.mode is Mode.STEERING:
+            self._install_steering_filters(node, start_state, all_violations)
+
+    def _install_steering_filters(self, node: SimNode, start_state: GlobalState,
+                                  violations: Sequence[PredictedViolation]) -> None:
+        seen_filters: set[tuple] = set()
+        for violation in violations:
+            decision = evaluate_violation(
+                node.addr, self.system, start_state, self.properties, violation,
+                safety_budget=self.config.safety_budget,
+                check_safety=self.config.check_filter_safety,
+                expected_violations=violations,
+            )
+            if not decision.actionable:
+                self.stats.steering_unhelpful += 1
+                continue
+            key = (decision.filter.message_type, decision.filter.message_src,
+                   decision.filter.timer_name, decision.filter.app_call)
+            if key in seen_filters:
+                continue
+            seen_filters.add(key)
+            self.filters.append(decision.filter)
+            self.stats.filters_installed += 1
+            self.stats.steering_modified_behavior += 1
+
+    # ------------------------------------------------------------------- reporting
+
+    def report(self) -> dict:
+        """Summary used by examples and the benchmark harness."""
+        return {
+            "node": str(self.addr),
+            "mode": self.config.mode.value,
+            "ticks": self.stats.ticks,
+            "model_checker_runs": self.stats.model_checker_runs,
+            "snapshots": self.stats.snapshots_collected,
+            "violations_predicted": self.stats.violations_predicted,
+            "distinct_properties_violated": sorted(self.stats.distinct_violations),
+            "filters_installed": self.stats.filters_installed,
+            "filters_triggered": self.stats.filters_triggered,
+            "steering_modified_behavior": self.stats.steering_modified_behavior,
+            "steering_unhelpful": self.stats.steering_unhelpful,
+            "isc_checks": self.stats.isc_checks,
+            "isc_blocks": self.stats.isc_blocks,
+            "checkpoint_bytes_sent": self.stats.checkpoint_bytes_sent,
+        }
+
+
+def attach_crystalball(
+    sim: Simulator,
+    properties: Sequence[SafetyProperty],
+    *,
+    config: Optional[CrystalBallConfig] = None,
+    nodes: Optional[Sequence[Address]] = None,
+) -> dict[Address, CrystalBallController]:
+    """Attach a CrystalBall controller to every (or the given) node of ``sim``.
+
+    Returns the controllers keyed by node address so callers can inspect
+    per-node statistics after the run.
+    """
+    controllers: dict[Address, CrystalBallController] = {}
+    targets = list(nodes) if nodes is not None else list(sim.nodes)
+    for addr in targets:
+        node = sim.nodes[addr]
+        controller_config = config or CrystalBallConfig()
+        controller = CrystalBallController(addr, node.protocol, properties,
+                                           controller_config)
+        controllers[addr] = controller
+        sim.attach_hook(addr, controller)
+    return controllers

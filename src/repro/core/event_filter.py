@@ -1,0 +1,99 @@
+"""Event filters — the mechanism execution steering installs into the
+runtime (Sections 3.3 and 4, "Event Filtering for Execution steering").
+
+A filter identifies the handler invocation to avoid: for network messages it
+carries the message type, source and destination; for timer or application
+events it carries the handler identity.  When a filter triggers, network
+messages are dropped (optionally together with a TCP connection reset
+towards the sender), while timer events are rescheduled rather than dropped.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..runtime.address import Address
+from ..runtime.events import AppEvent, Event, MessageEvent, TimerEvent
+from ..runtime.simulator import FilterAction
+
+_filter_ids = itertools.count(1)
+
+
+@dataclass
+class EventFilter:
+    """A single installed corrective action."""
+
+    #: Node the filter is installed on (filters are local to a node).
+    node: Address
+    action: FilterAction = FilterAction.DROP_AND_RESET
+    #: Message filters: type plus source (destination is ``node``).
+    message_type: Optional[str] = None
+    message_src: Optional[Address] = None
+    #: Timer / application-call filters.
+    timer_name: Optional[str] = None
+    app_call: Optional[str] = None
+    #: Why the filter exists (the predicted violation), for reporting.
+    reason: str = ""
+    filter_id: int = field(default_factory=lambda: next(_filter_ids))
+    times_triggered: int = 0
+
+    def matches(self, event: Event) -> bool:
+        """True when ``event`` is the handler invocation this filter blocks."""
+        if event.node != self.node:
+            return False
+        if self.message_type is not None:
+            if not isinstance(event, MessageEvent):
+                return False
+            if event.message.mtype != self.message_type:
+                return False
+            return self.message_src is None or event.message.src == self.message_src
+        if self.timer_name is not None:
+            return isinstance(event, TimerEvent) and event.timer == self.timer_name
+        if self.app_call is not None:
+            return isinstance(event, AppEvent) and event.call == self.app_call
+        return False
+
+    def decision(self, event: Event) -> FilterAction:
+        """Filter decision for a matching event.
+
+        Timer events are never dropped outright — they are rescheduled
+        (DELAY) so liveness-critical periodic work eventually runs.
+        """
+        if isinstance(event, TimerEvent):
+            return FilterAction.DELAY
+        return self.action
+
+    def describe(self) -> str:
+        if self.message_type is not None:
+            src = self.message_src if self.message_src is not None else "*"
+            target = f"message {self.message_type} from {src}"
+        elif self.timer_name is not None:
+            target = f"timer '{self.timer_name}'"
+        else:
+            target = f"app call '{self.app_call}'"
+        return f"filter#{self.filter_id} on {self.node}: {self.action.value} {target}"
+
+
+def derive_filter(node: Address, event: Event, *, reason: str = "",
+                  action: FilterAction = FilterAction.DROP_AND_RESET) -> Optional[EventFilter]:
+    """Build the event filter that blocks ``event`` at ``node``.
+
+    Returns ``None`` for events that cannot be usefully filtered (node
+    resets, transport errors — those are environment actions, not handler
+    invocations the runtime controls).
+    """
+    if event.node != node:
+        return None
+    if isinstance(event, MessageEvent):
+        return EventFilter(node=node, action=action, reason=reason,
+                           message_type=event.message.mtype,
+                           message_src=event.message.src)
+    if isinstance(event, TimerEvent):
+        return EventFilter(node=node, action=FilterAction.DELAY, reason=reason,
+                           timer_name=event.timer)
+    if isinstance(event, AppEvent):
+        return EventFilter(node=node, action=FilterAction.DROP, reason=reason,
+                           app_call=event.call)
+    return None

@@ -1,0 +1,91 @@
+"""Immediate safety check (Sections 3.3 and 4).
+
+The asynchronous model checker cannot always predict an inconsistency in
+time (it sees only a neighbourhood subset and runs behind the live system).
+The immediate safety check closes that gap for the current handler: it
+speculatively executes the handler on a copy of the node's state (the paper
+uses a forked address space; we clone the state object), evaluates the
+safety properties on the resulting state, and blocks the real execution when
+the result is inconsistent.
+
+To avoid blocking on pre-existing violations elsewhere in the (possibly
+stale) snapshot, only *newly introduced* violations cause the event to be
+blocked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..mc.global_state import GlobalState, NodeLocal
+from ..mc.properties import PropertyViolation, SafetyProperty, check_all
+from ..mc.transition import TransitionSystem
+from ..runtime.address import Address
+from ..runtime.events import Event, ResetEvent
+from ..runtime.state import NodeState
+
+
+@dataclass
+class ImmediateCheckOutcome:
+    """Result of one speculative handler execution."""
+
+    allowed: bool
+    new_violations: list[PropertyViolation] = field(default_factory=list)
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.allowed
+
+
+class ImmediateSafetyCheck:
+    """Speculative per-handler consistency check."""
+
+    def __init__(self, system: TransitionSystem,
+                 properties: Sequence[SafetyProperty]) -> None:
+        self.system = system
+        self.properties = list(properties)
+        self.checks_performed = 0
+        self.events_blocked = 0
+
+    def check(
+        self,
+        addr: Address,
+        live_state: NodeState,
+        live_timers: frozenset[str],
+        event: Event,
+        *,
+        neighborhood: Optional[GlobalState] = None,
+    ) -> ImmediateCheckOutcome:
+        """Speculatively execute ``event`` and report whether it is safe.
+
+        Parameters
+        ----------
+        addr, live_state, live_timers:
+            The node about to execute the handler and its current state.
+        event:
+            The handler invocation being vetted.
+        neighborhood:
+            The node's most recent neighbourhood snapshot, used so that
+            cross-node properties (e.g. "children and siblings disjoint"
+            involves only local state, but "root is not a child" involves
+            two nodes) can be evaluated.  When absent, the check uses a
+            one-node view.
+        """
+        self.checks_performed += 1
+        if isinstance(event, ResetEvent):
+            return ImmediateCheckOutcome(allowed=True)
+
+        base = neighborhood.clone() if neighborhood is not None else GlobalState(nodes={})
+        base.nodes[addr] = NodeLocal(state=live_state.clone(), timers=live_timers)
+        before = {(v.property_name, v.node, v.detail)
+                  for v in check_all(self.properties, base)}
+
+        speculative = self.system.apply(base, event)
+        after = check_all(self.properties, speculative)
+        new = [v for v in after
+               if (v.property_name, v.node, v.detail) not in before]
+
+        if new:
+            self.events_blocked += 1
+            return ImmediateCheckOutcome(allowed=False, new_violations=new)
+        return ImmediateCheckOutcome(allowed=True)

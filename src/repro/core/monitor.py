@@ -1,0 +1,69 @@
+"""Live property monitoring.
+
+The evaluation needs to know how often the *deployed* system actually enters
+an inconsistent state (e.g. "the system goes through a total of 121 states
+that contain inconsistencies" when CrystalBall is not active,
+Section 5.4.1).  :class:`LivePropertyMonitor` is a simulator observer that
+checks the safety properties on the live global state after every executed
+event and keeps counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..mc.global_state import GlobalState
+from ..mc.properties import PropertyViolation, SafetyProperty, check_all
+from ..runtime.events import Event
+from ..runtime.simulator import SimNode, Simulator
+
+
+@dataclass
+class LivePropertyMonitor:
+    """Counts inconsistent states reached by the live execution."""
+
+    properties: Sequence[SafetyProperty]
+
+    events_checked: int = 0
+    inconsistent_states: int = 0
+    violations_seen: list[PropertyViolation] = field(default_factory=list)
+    distinct_properties: set[str] = field(default_factory=set)
+    #: signatures of (property, node, detail) already counted, so a persistent
+    #: inconsistency is not recounted on every single event.
+    _active: set[tuple] = field(default_factory=set)
+
+    def install(self, sim: Simulator) -> "LivePropertyMonitor":
+        sim.add_observer(self)
+        return self
+
+    def __call__(self, sim: Simulator, node: SimNode, event: Event) -> None:
+        self.events_checked += 1
+        state = GlobalState.from_snapshot(
+            {addr: s for addr, (s, _) in sim.node_states().items()},
+            timers={addr: t for addr, (_, t) in sim.node_states().items()},
+        )
+        violations = check_all(self.properties, state)
+        if violations:
+            self.inconsistent_states += 1
+        current: set[tuple] = set()
+        for violation in violations:
+            key = (violation.property_name, violation.node, violation.detail)
+            current.add(key)
+            if key not in self._active:
+                self.violations_seen.append(violation)
+                self.distinct_properties.add(violation.property_name)
+        self._active = current
+
+    @property
+    def new_violations(self) -> int:
+        """Number of distinct violation episodes observed."""
+        return len(self.violations_seen)
+
+    def report(self) -> dict:
+        return {
+            "events_checked": self.events_checked,
+            "inconsistent_states": self.inconsistent_states,
+            "distinct_violation_episodes": self.new_violations,
+            "properties_violated": sorted(self.distinct_properties),
+        }

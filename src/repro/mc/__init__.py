@@ -1,0 +1,32 @@
+"""Model-checking substrate: system model, baseline searches, properties.
+
+This package is the MaceMC stand-in: global states (Figure 4), the
+exhaustive breadth-first search of Figure 5, random walks, and the safety
+property framework.  The paper's own contribution — consequence prediction —
+lives in :mod:`repro.core` and is built on the same primitives.
+"""
+
+from .global_state import ErrorNotification, GlobalState, NodeLocal
+from .properties import PropertyViolation, SafetyProperty, check_all, node_property
+from .search import PredictedViolation, SearchBudget, SearchResult, SearchStats
+from .transition import TransitionConfig, TransitionSystem
+from .exhaustive import find_errors
+from .random_walk import random_walk_search
+
+__all__ = [
+    "ErrorNotification",
+    "GlobalState",
+    "NodeLocal",
+    "PropertyViolation",
+    "SafetyProperty",
+    "check_all",
+    "node_property",
+    "PredictedViolation",
+    "SearchBudget",
+    "SearchResult",
+    "SearchStats",
+    "TransitionConfig",
+    "TransitionSystem",
+    "find_errors",
+    "random_walk_search",
+]

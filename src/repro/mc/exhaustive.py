@@ -1,0 +1,96 @@
+"""Exhaustive breadth-first state-space search (Figure 5) — the MaceMC
+baseline CrystalBall is compared against in Section 5.3.
+
+The search starts from ``firstState`` (the initial system state in the
+classic setting, or any supplied state for prefix-based search), explores
+reachable global states in breadth-first order, caches visited-state hashes,
+and reports every state that violates a safety property together with the
+event path that reaches it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Sequence
+
+from .global_state import GlobalState
+from .properties import SafetyProperty, check_all
+from .search import PredictedViolation, SearchBudget, SearchResult, SearchStats
+from .transition import TransitionSystem
+
+
+def find_errors(
+    system: TransitionSystem,
+    first_state: GlobalState,
+    properties: Sequence[SafetyProperty],
+    budget: Optional[SearchBudget] = None,
+) -> SearchResult:
+    """Run the exhaustive search of Figure 5.
+
+    Parameters
+    ----------
+    system:
+        Transition system providing successor states.
+    first_state:
+        State the search starts from.
+    properties:
+        Safety properties to check in every visited state.
+    budget:
+        Stop criterion (state, depth and wall-clock bounds).
+    """
+    budget = budget or SearchBudget()
+    stats = SearchStats()
+    violations: list[PredictedViolation] = []
+    # Report each (property, node) combination once per search run: the
+    # first (shallowest) state that exhibits it.  Without this, a violation
+    # already present in the start state would be re-reported in every
+    # explored state, drowning genuinely new predictions.
+    reported: set[tuple] = set()
+
+    explored: set[int] = set()
+    frontier: deque[tuple[GlobalState, int, tuple]] = deque()
+    frontier.append((first_state, 0, ()))
+    frontier_bytes = first_state.size_bytes()
+    stats.peak_memory_bytes = frontier_bytes
+
+    while frontier and not budget.exhausted(stats):
+        state, depth, path = frontier.popleft()
+        frontier_bytes -= state.size_bytes()
+        state_hash = state.state_hash()
+        if state_hash in explored:
+            stats.duplicate_states += 1
+            continue
+        explored.add(state_hash)
+        stats.explored_hash_bytes = 8 * len(explored)
+        stats.record_visit(depth)
+
+        for violation in check_all(properties, state):
+            key = (violation.property_name, violation.node)
+            if key in reported:
+                continue
+            reported.add(key)
+            violations.append(
+                PredictedViolation(violation=violation, path=path,
+                                   depth=depth, state_hash=state_hash)
+            )
+        if violations and budget.stop_at_first_violation:
+            break
+
+        if not budget.depth_allowed(depth + 1):
+            continue
+
+        for event in system.enabled_events(state):
+            next_state = system.apply(state, event)
+            stats.transitions_applied += 1
+            next_hash = next_state.state_hash()
+            if next_hash in explored:
+                stats.duplicate_states += 1
+                continue
+            frontier.append((next_state, depth + 1, path + (event,)))
+            stats.states_enqueued += 1
+            frontier_bytes += next_state.size_bytes()
+            stats.peak_memory_bytes = max(stats.peak_memory_bytes,
+                                          frontier_bytes + stats.explored_hash_bytes)
+
+    stats.touch_clock()
+    return SearchResult(violations=violations, stats=stats, start_state=first_state)

@@ -1,0 +1,140 @@
+"""Global distributed-system state for model checking (Figure 4).
+
+A global state is the local state of every node (including its armed
+timers, which determine the enabled internal actions) plus the set of
+in-flight network messages.  The model checker additionally tracks in-flight
+*error notifications* (pending TCP RST / broken-connection signals produced
+by node resets and steering actions) and per-node reset counts so searches
+over fault scenarios stay bounded.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Optional
+
+from ..runtime.address import Address
+from ..runtime.messages import Message
+from ..runtime.serialization import estimate_size, freeze
+from ..runtime.state import NodeState
+
+
+@dataclass(frozen=True)
+class ErrorNotification:
+    """A pending transport-error signal: ``dst`` will observe a broken
+    connection with ``peer`` when the notification is delivered."""
+
+    dst: Address
+    peer: Address
+
+    def signature(self) -> tuple:
+        return ("errnotif", freeze(self.dst), freeze(self.peer))
+
+
+@dataclass(frozen=True)
+class NodeLocal:
+    """Local state of one node as seen by the model checker."""
+
+    state: NodeState
+    timers: frozenset[str] = frozenset()
+
+    def signature(self) -> tuple:
+        return (self.state.signature(), tuple(sorted(self.timers)))
+
+    def local_hash(self) -> int:
+        return hash(self.signature())
+
+
+@dataclass
+class GlobalState:
+    """A complete system state explored by the model checker."""
+
+    nodes: dict[Address, NodeLocal]
+    inflight: tuple[Message, ...] = ()
+    errors: tuple[ErrorNotification, ...] = ()
+    resets: tuple[tuple[Address, int], ...] = ()
+    #: lazily computed size estimate (the state is treated as immutable once
+    #: it has entered a search frontier).
+    _size_cache: Optional[int] = field(default=None, repr=False, compare=False, init=False)
+
+    # -- construction -----------------------------------------------------------
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        states: Mapping[Address, NodeState],
+        timers: Optional[Mapping[Address, Iterable[str]]] = None,
+        inflight: Iterable[Message] = (),
+    ) -> "GlobalState":
+        """Build a global state from a set of node checkpoints.
+
+        This is how the CrystalBall controller seeds consequence prediction:
+        the neighbourhood snapshot provides the node states; in-flight
+        messages are unknown and therefore empty unless explicitly given.
+        """
+        timers = timers or {}
+        nodes = {
+            addr: NodeLocal(state=state, timers=frozenset(timers.get(addr, ())))
+            for addr, state in states.items()
+        }
+        return cls(nodes=nodes, inflight=tuple(inflight))
+
+    # -- copies and updates --------------------------------------------------------
+
+    def clone(self) -> "GlobalState":
+        """Deep copy (node states are mutable dataclasses)."""
+        return GlobalState(
+            nodes={addr: NodeLocal(state=nl.state.clone(), timers=nl.timers)
+                   for addr, nl in self.nodes.items()},
+            inflight=self.inflight,
+            errors=self.errors,
+            resets=self.resets,
+        )
+
+    def with_node(self, addr: Address, local: NodeLocal) -> "GlobalState":
+        nodes = dict(self.nodes)
+        nodes[addr] = local
+        return replace(self, nodes=nodes)
+
+    def reset_count(self, addr: Address) -> int:
+        for node, count in self.resets:
+            if node == addr:
+                return count
+        return 0
+
+    def with_reset(self, addr: Address) -> "GlobalState":
+        counts = dict(self.resets)
+        counts[addr] = counts.get(addr, 0) + 1
+        return replace(self, resets=tuple(sorted(counts.items())))
+
+    # -- identity --------------------------------------------------------------------
+
+    def signature(self) -> tuple:
+        node_part = tuple(
+            (freeze(addr), self.nodes[addr].signature())
+            for addr in sorted(self.nodes)
+        )
+        inflight_part = tuple(sorted((m.signature() for m in self.inflight), key=repr))
+        error_part = tuple(sorted((e.signature() for e in self.errors), key=repr))
+        return (node_part, inflight_part, error_part, self.resets)
+
+    def state_hash(self) -> int:
+        return hash(self.signature())
+
+    # -- accounting ---------------------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Approximate in-memory size of this state (Figures 15/16)."""
+        if self._size_cache is None:
+            total = sum(nl.state.size_bytes() + 16 * len(nl.timers)
+                        for nl in self.nodes.values())
+            total += sum(m.size_bytes() for m in self.inflight)
+            total += 24 * len(self.errors)
+            self._size_cache = total
+        return self._size_cache
+
+    def describe(self) -> str:
+        """Short human-readable summary for traces and reports."""
+        parts = [f"{addr}:{type(nl.state).__name__}" for addr, nl in sorted(self.nodes.items())]
+        return f"GlobalState({', '.join(parts)}; {len(self.inflight)} msgs in flight)"

@@ -1,0 +1,119 @@
+"""Shared search infrastructure: budgets, statistics, results.
+
+Both the exhaustive baseline (Figure 5) and consequence prediction
+(Figure 8) are breadth-first searches with state-hash caching that differ
+only in which successors they enumerate; this module holds everything they
+share, including the ``StopCriterion`` of the paper expressed as a
+:class:`SearchBudget`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..runtime.events import Event
+from .global_state import GlobalState
+from .properties import PropertyViolation
+
+
+@dataclass
+class SearchBudget:
+    """The StopCriterion: bounds on how far a search may go.
+
+    Any bound left ``None`` is unlimited.  ``exhausted`` is evaluated before
+    each state expansion, mirroring the ``while (!StopCriterion)`` loop of
+    Figures 5 and 8.
+    """
+
+    max_states: Optional[int] = 20000
+    max_depth: Optional[int] = None
+    max_seconds: Optional[float] = None
+    stop_at_first_violation: bool = False
+
+    def exhausted(self, stats: "SearchStats") -> bool:
+        if self.max_states is not None and stats.states_visited >= self.max_states:
+            return True
+        if self.max_seconds is not None and stats.elapsed_seconds >= self.max_seconds:
+            return True
+        return False
+
+    def depth_allowed(self, depth: int) -> bool:
+        return self.max_depth is None or depth <= self.max_depth
+
+
+@dataclass
+class SearchStats:
+    """Measurements of one search run (Figures 12, 15, 16)."""
+
+    states_visited: int = 0
+    states_enqueued: int = 0
+    transitions_applied: int = 0
+    duplicate_states: int = 0
+    max_depth_reached: int = 0
+    elapsed_seconds: float = 0.0
+    #: bytes attributed to the search tree: frontier states plus hashes of
+    #: explored states (the checker "does not cache previously visited
+    #: states, it only stores their hashes", Section 5.5).
+    peak_memory_bytes: int = 0
+    explored_hash_bytes: int = 0
+    internal_actions_skipped: int = 0
+    states_by_depth: dict[int, int] = field(default_factory=dict)
+
+    _started_at: float = field(default_factory=time.monotonic, repr=False)
+
+    def touch_clock(self) -> None:
+        self.elapsed_seconds = time.monotonic() - self._started_at
+
+    def record_visit(self, depth: int) -> None:
+        self.states_visited += 1
+        self.max_depth_reached = max(self.max_depth_reached, depth)
+        self.states_by_depth[depth] = self.states_by_depth.get(depth, 0) + 1
+        self.touch_clock()
+
+    def memory_per_state(self) -> float:
+        """Average bytes per visited state (Figure 16)."""
+        if self.states_visited == 0:
+            return 0.0
+        return (self.peak_memory_bytes + self.explored_hash_bytes) / self.states_visited
+
+
+@dataclass(frozen=True)
+class PredictedViolation:
+    """A property violation reachable from the search's start state.
+
+    The event ``path`` is the sequence of handler executions leading from
+    the start state to the violating state — exactly what the CrystalBall
+    controller needs to build an event filter or a replayable error path.
+    """
+
+    violation: PropertyViolation
+    path: tuple[Event, ...]
+    depth: int
+    state_hash: int
+
+    def describe(self) -> str:
+        steps = " -> ".join(e.describe() for e in self.path) or "(start state)"
+        return f"{self.violation} via {steps}"
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one model-checking run."""
+
+    violations: list[PredictedViolation]
+    stats: SearchStats
+    start_state: GlobalState
+
+    @property
+    def found_violation(self) -> bool:
+        return bool(self.violations)
+
+    def unique_property_names(self) -> set[str]:
+        return {v.violation.property_name for v in self.violations}
+
+    def shortest_violation(self) -> Optional[PredictedViolation]:
+        if not self.violations:
+            return None
+        return min(self.violations, key=lambda v: v.depth)

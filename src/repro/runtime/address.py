@@ -1,0 +1,64 @@
+"""Node addresses.
+
+The paper identifies nodes by IP addresses and relies on their numeric
+ordering (e.g. the RandTree root is the node with the numerically smallest
+address, Chord ids derive from addresses).  ``Address`` is a small immutable
+value type with a total order so protocol code can express those rules
+directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from functools import total_ordering
+
+
+@total_ordering
+@dataclass(frozen=True)
+class Address:
+    """An IP-like node identifier.
+
+    Parameters
+    ----------
+    host:
+        Numeric host identifier (stands in for the 32-bit IPv4 address).
+    port:
+        Service port.  Two services on the same simulated machine use the
+        same ``host`` but different ports.
+    """
+
+    host: int
+    port: int = 5000
+
+    def __post_init__(self) -> None:
+        if self.host < 0:
+            raise ValueError(f"host must be non-negative, got {self.host}")
+        if not (0 < self.port < 65536):
+            raise ValueError(f"port must be in (0, 65536), got {self.port}")
+
+    def __lt__(self, other: "Address") -> bool:
+        if not isinstance(other, Address):
+            return NotImplemented
+        return (self.host, self.port) < (other.host, other.port)
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def chord_id(self, bits: int = 16) -> int:
+        """Deterministically hash this address into a ``bits``-bit Chord id."""
+        digest = hashlib.sha1(str(self).encode("ascii")).digest()
+        return int.from_bytes(digest, "big") % (1 << bits)
+
+
+#: Pseudo-address used by the model checker for "all nodes outside the
+#: current snapshot" (Section 4, "dummy node").  Messages addressed to nodes
+#: without a checkpoint are redirected here and never processed.
+DUMMY_ADDRESS = Address(host=0, port=1)
+
+
+def make_addresses(count: int, *, start: int = 1, port: int = 5000) -> list[Address]:
+    """Create ``count`` distinct addresses with consecutive host numbers."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return [Address(host=start + i, port=port) for i in range(count)]

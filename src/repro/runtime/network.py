@@ -1,0 +1,83 @@
+"""Network model for the live runtime.
+
+The paper evaluates CrystalBall on ModelNet with a 5,000-node INET topology:
+wide-area latencies, random cross-traffic loss, and constrained access
+links.  :class:`NetworkModel` captures the properties the experiments depend
+on — per-pair one-way latency, per-link loss probability, and explicit
+partitions (used to script the Paxos scenarios of Figure 13).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from .address import Address
+
+
+@dataclass
+class NetworkModel:
+    """Latency / loss / partition model used by the simulator.
+
+    Parameters
+    ----------
+    latency_fn:
+        Optional callable ``(src, dst, rng) -> one-way latency in seconds``.
+        When omitted, latencies are drawn uniformly around ``default_rtt``.
+    loss_fn:
+        Optional callable ``(src, dst, rng) -> loss probability`` for UDP
+        messages (TCP is modelled as reliable while the connection is up).
+    default_rtt:
+        Mean round-trip time used by the default latency model; the paper's
+        INET topology averages 130 ms.
+    """
+
+    latency_fn: Optional[Callable[[Address, Address, random.Random], float]] = None
+    loss_fn: Optional[Callable[[Address, Address, random.Random], float]] = None
+    default_rtt: float = 0.130
+    jitter: float = 0.2
+    partitions: set[frozenset[Address]] = field(default_factory=set)
+    #: probability that a TCP RST emitted by a resetting node is lost, which
+    #: is precisely the trigger of the RandTree bug in Figure 2.
+    rst_loss_probability: float = 0.2
+
+    def latency(self, src: Address, dst: Address, rng: random.Random) -> float:
+        """One-way latency from ``src`` to ``dst``."""
+        if src == dst:
+            return 1e-4
+        if self.latency_fn is not None:
+            return max(1e-4, self.latency_fn(src, dst, rng))
+        base = self.default_rtt / 2.0
+        return max(1e-4, base * (1.0 + rng.uniform(-self.jitter, self.jitter)))
+
+    def loss_probability(self, src: Address, dst: Address, rng: random.Random) -> float:
+        """Cross-traffic loss probability for a packet from ``src`` to ``dst``."""
+        if self.loss_fn is not None:
+            return min(1.0, max(0.0, self.loss_fn(src, dst, rng)))
+        # ModelNet cross-traffic emulation: uniform in [0.001, 0.005] per link.
+        return rng.uniform(0.001, 0.005)
+
+    # -- partitions -------------------------------------------------------------
+
+    def partition(self, a: Address, b: Address) -> None:
+        """Block all traffic between ``a`` and ``b`` (both directions)."""
+        self.partitions.add(frozenset((a, b)))
+
+    def heal(self, a: Address, b: Address) -> None:
+        """Remove the partition between ``a`` and ``b`` if present."""
+        self.partitions.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        """Remove every partition."""
+        self.partitions.clear()
+
+    def isolate(self, node: Address, others: Iterable[Address]) -> None:
+        """Partition ``node`` from every address in ``others``."""
+        for other in others:
+            if other != node:
+                self.partition(node, other)
+
+    def reachable(self, src: Address, dst: Address) -> bool:
+        """True unless a partition blocks the pair."""
+        return frozenset((src, dst)) not in self.partitions

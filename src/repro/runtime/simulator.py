@@ -1,0 +1,494 @@
+"""Discrete-event simulator: the live runtime for protocols under test.
+
+This is the ModelNet-cluster substitute.  It executes protocol state
+machines against a latency/loss network model, maintains timers and TCP-like
+connections, injects node resets and churn, and exposes the hook points the
+CrystalBall controller needs:
+
+* a per-node :class:`NodeHook` consulted before every handler execution
+  (event filtering and the immediate safety check),
+* control-plane message routing (checkpoint requests/responses),
+* periodic controller ticks,
+* observers called after every executed event (live property monitoring,
+  tracing, statistics).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Iterable, Mapping, Optional, Protocol as TypingProtocol
+
+from .address import Address
+from .context import HandlerContext, TimerOp
+from .events import (
+    AppEvent,
+    ConnectionErrorEvent,
+    Event,
+    MessageEvent,
+    ResetEvent,
+    TimerEvent,
+)
+from .logical_clock import LogicalClock
+from .messages import Message, Transport
+from .network import NetworkModel
+from .protocol import Protocol
+from .state import NodeState
+from .transport import ConnectionTable
+
+
+class FilterAction(Enum):
+    """Decision a node hook can take about an event before it is executed."""
+
+    ALLOW = "allow"
+    DROP = "drop"
+    DROP_AND_RESET = "drop_and_reset"
+    DELAY = "delay"
+
+
+class NodeHook(TypingProtocol):
+    """Interface the CrystalBall controller implements to plug into a node."""
+
+    def on_tick(self, sim: "Simulator", node: "SimNode") -> None:
+        """Periodic controller activity (snapshot gathering, model checking)."""
+
+    def filter_event(self, sim: "Simulator", node: "SimNode", event: Event) -> FilterAction:
+        """Execution-steering event filter (Section 3.3)."""
+
+    def immediate_safety_check(self, sim: "Simulator", node: "SimNode", event: Event) -> bool:
+        """Return False to block the event because it would immediately
+        violate a safety property (Section 3.3, immediate safety check)."""
+
+    def handle_control_message(self, sim: "Simulator", node: "SimNode", message: Message) -> None:
+        """Process a CrystalBall control-plane message."""
+
+    def on_event_executed(self, sim: "Simulator", node: "SimNode", event: Event) -> None:
+        """Called after an event was executed on the node."""
+
+    def on_forced_checkpoint(self, sim: "Simulator", node: "SimNode") -> None:
+        """Called when the logical clock forces a checkpoint (Section 2.3)."""
+
+
+@dataclass
+class NodeStats:
+    """Per-node accounting used by the overhead experiments (Section 5.5)."""
+
+    events_executed: int = 0
+    messages_sent: int = 0
+    service_bytes_sent: int = 0
+    control_bytes_sent: int = 0
+    resets: int = 0
+    events_dropped_by_filter: int = 0
+    events_blocked_by_isc: int = 0
+    events_delayed: int = 0
+
+
+@dataclass
+class SimNode:
+    """A live node: protocol state plus runtime bookkeeping."""
+
+    addr: Address
+    protocol: Protocol
+    state: NodeState
+    clock: LogicalClock = field(default_factory=LogicalClock)
+    connections: ConnectionTable = field(default_factory=ConnectionTable)
+    armed_timers: dict[str, int] = field(default_factory=dict)  # name -> generation
+    incarnation: int = 0
+    alive: bool = True
+    hook: Optional[NodeHook] = None
+    stats: NodeStats = field(default_factory=NodeStats)
+
+    def timer_names(self) -> frozenset[str]:
+        return frozenset(self.armed_timers)
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    seq: int
+    kind: str = field(compare=False)
+    data: Any = field(compare=False)
+
+
+@dataclass
+class TraceRecord:
+    """One executed event in the live run (for debugging and examples)."""
+
+    time: float
+    node: Address
+    description: str
+    kind: str
+
+
+class Simulator:
+    """Discrete-event simulator hosting one protocol across many nodes."""
+
+    def __init__(
+        self,
+        protocol_factory: Callable[[], Protocol],
+        network: Optional[NetworkModel] = None,
+        *,
+        seed: int = 0,
+        tick_interval: float = 10.0,
+        trace: bool = False,
+    ) -> None:
+        self.protocol_factory = protocol_factory
+        self.network = network or NetworkModel()
+        self.rng = random.Random(seed)
+        self.tick_interval = tick_interval
+        self.trace_enabled = trace
+
+        self.now: float = 0.0
+        self.nodes: dict[Address, SimNode] = {}
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._inflight: dict[int, Message] = {}
+        self._last_tcp_delivery: dict[tuple[Address, Address], float] = {}
+        self.observers: list[Callable[["Simulator", SimNode, Event], None]] = []
+        self.trace: list[TraceRecord] = []
+        self.events_executed = 0
+
+    # -- topology management ----------------------------------------------------
+
+    def add_node(self, addr: Address, *, start: bool = True) -> SimNode:
+        """Create a node running a fresh protocol instance."""
+        if addr in self.nodes:
+            raise ValueError(f"node {addr} already exists")
+        protocol = self.protocol_factory()
+        state = protocol.initial_state(addr)
+        node = SimNode(addr=addr, protocol=protocol, state=state)
+        self.nodes[addr] = node
+        if start:
+            ctx = self._make_context(node)
+            protocol.on_start(ctx, state)
+            self._apply_effects(node, ctx)
+        return node
+
+    def attach_hook(self, addr: Address, hook: NodeHook) -> None:
+        """Attach a CrystalBall controller (or any hook) to a node and start
+        its periodic tick."""
+        node = self.nodes[addr]
+        node.hook = hook
+        self._schedule(self.now + self.tick_interval, "tick", addr)
+
+    def add_observer(self, observer: Callable[["Simulator", SimNode, Event], None]) -> None:
+        """Register a callback invoked after every executed event."""
+        self.observers.append(observer)
+
+    # -- scheduling API -----------------------------------------------------------
+
+    def schedule_app(self, time: float, addr: Address, call: str,
+                     payload: Optional[Mapping[str, Any]] = None) -> None:
+        """Schedule an application call on ``addr`` at absolute time ``time``."""
+        self._schedule(time, "app", AppEvent(node=addr, call=call, payload=dict(payload or {})))
+
+    def schedule_reset(self, time: float, addr: Address) -> None:
+        """Schedule a silent node reset at absolute time ``time``."""
+        self._schedule(time, "reset", addr)
+
+    def schedule_callback(self, time: float, fn: Callable[["Simulator"], None]) -> None:
+        """Schedule an arbitrary callback (used by churn and workloads)."""
+        self._schedule(time, "callback", fn)
+
+    def _schedule(self, time: float, kind: str, data: Any) -> None:
+        heapq.heappush(self._queue, _QueueEntry(max(time, self.now), next(self._seq), kind, data))
+
+    # -- running -------------------------------------------------------------------
+
+    def run(self, *, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Run the simulation until the queue drains, ``until`` simulated
+        seconds elapse, or ``max_events`` events execute."""
+        executed = 0
+        while self._queue:
+            if max_events is not None and executed >= max_events:
+                break
+            entry = self._queue[0]
+            if until is not None and entry.time > until:
+                self.now = until
+                break
+            heapq.heappop(self._queue)
+            self.now = entry.time
+            self._dispatch(entry)
+            executed += 1
+
+    def step(self) -> bool:
+        """Execute a single queued entry; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        entry = heapq.heappop(self._queue)
+        self.now = entry.time
+        self._dispatch(entry)
+        return True
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _dispatch(self, entry: _QueueEntry) -> None:
+        kind = entry.kind
+        if kind == "deliver":
+            self._dispatch_delivery(entry.data)
+        elif kind == "timer":
+            self._dispatch_timer(entry.data)
+        elif kind == "app":
+            self._execute_event(entry.data)
+        elif kind == "reset":
+            self._perform_reset(entry.data)
+        elif kind == "connerr":
+            self._execute_event(entry.data)
+        elif kind == "tick":
+            self._dispatch_tick(entry.data)
+        elif kind == "callback":
+            entry.data(self)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown queue entry kind {kind}")
+
+    def _dispatch_delivery(self, message: Message) -> None:
+        node = self.nodes.get(message.dst)
+        if node is None or not node.alive:
+            return
+        if message.control:
+            if node.hook is not None:
+                node.hook.handle_control_message(self, node, message)
+            return
+        # Forced checkpoint before processing a message with a larger
+        # checkpoint number (Section 2.3).
+        if node.clock.observe(message.checkpoint_number) and node.hook is not None:
+            node.hook.on_forced_checkpoint(self, node)  # type: ignore[attr-defined]
+        self._execute_event(MessageEvent(node=message.dst, message=message))
+
+    def _dispatch_timer(self, data: tuple[Address, str, int]) -> None:
+        addr, name, generation = data
+        node = self.nodes.get(addr)
+        if node is None or not node.alive:
+            return
+        if node.armed_timers.get(name) != generation:
+            return  # cancelled or re-armed since
+        del node.armed_timers[name]
+        self._execute_event(TimerEvent(node=addr, timer=name))
+
+    def _dispatch_tick(self, addr: Address) -> None:
+        node = self.nodes.get(addr)
+        if node is None:
+            return
+        if node.alive and node.hook is not None:
+            node.hook.on_tick(self, node)
+        if node.hook is not None:
+            self._schedule(self.now + self.tick_interval, "tick", addr)
+
+    # -- event execution -------------------------------------------------------------
+
+    def _execute_event(self, event: Event) -> None:
+        node = self.nodes.get(event.node)
+        if node is None or not node.alive:
+            return
+
+        if node.hook is not None:
+            action = node.hook.filter_event(self, node, event)
+            if action == FilterAction.DROP:
+                node.stats.events_dropped_by_filter += 1
+                self._record_trace(node, event, "filtered")
+                return
+            if action == FilterAction.DROP_AND_RESET:
+                node.stats.events_dropped_by_filter += 1
+                self._record_trace(node, event, "filtered+reset")
+                if isinstance(event, MessageEvent):
+                    self._break_connection(node, event.message.src)
+                return
+            if action == FilterAction.DELAY:
+                node.stats.events_delayed += 1
+                delay = 1.0
+                if isinstance(event, MessageEvent):
+                    self._schedule(self.now + delay, "deliver", event.message)
+                elif isinstance(event, TimerEvent):
+                    self.set_timer(node, event.timer, delay)
+                self._record_trace(node, event, "delayed")
+                return
+            if not node.hook.immediate_safety_check(self, node, event):
+                node.stats.events_blocked_by_isc += 1
+                self._record_trace(node, event, "blocked-by-isc")
+                if isinstance(event, TimerEvent):
+                    self.set_timer(node, event.timer, 1.0)
+                return
+
+        ctx = self._make_context(node)
+        node.state = node.protocol.execute(ctx, node.state, event)
+        self._apply_effects(node, ctx)
+
+        node.stats.events_executed += 1
+        self.events_executed += 1
+        self._record_trace(node, event, "executed")
+        if node.hook is not None:
+            node.hook.on_event_executed(self, node, event)
+        for observer in self.observers:
+            observer(self, node, event)
+
+    def _make_context(self, node: SimNode) -> HandlerContext:
+        return HandlerContext(self_addr=node.addr, now=self.now, rng=self.rng)
+
+    def _apply_effects(self, node: SimNode, ctx: HandlerContext) -> None:
+        for op in ctx.timer_ops:
+            if op.action == "set":
+                self.set_timer(node, op.name, op.delay)
+            else:
+                node.armed_timers.pop(op.name, None)
+        for peer in ctx.closed_connections:
+            self._break_connection(node, peer)
+        for message in ctx.sent:
+            self._transmit(node, message)
+
+    # -- timers -------------------------------------------------------------------------
+
+    def set_timer(self, node: SimNode, name: str, delay: float) -> None:
+        """Arm (or re-arm) a named timer on ``node``."""
+        generation = node.armed_timers.get(name, 0) + 1
+        node.armed_timers[name] = generation
+        self._schedule(self.now + max(delay, 1e-6), "timer", (node.addr, name, generation))
+
+    # -- message transmission -------------------------------------------------------------
+
+    def _transmit(self, node: SimNode, message: Message) -> None:
+        stamped = message.with_checkpoint_number(node.clock.stamp()) if not message.control else message
+        node.stats.messages_sent += 1
+        size = stamped.size_bytes()
+        if stamped.control:
+            node.stats.control_bytes_sent += size
+        else:
+            node.stats.service_bytes_sent += size
+
+        if not self.network.reachable(stamped.src, stamped.dst):
+            if stamped.transport is Transport.TCP:
+                self._schedule_connection_error(node.addr, stamped.dst)
+            return
+
+        dest = self.nodes.get(stamped.dst)
+        latency = self.network.latency(stamped.src, stamped.dst, self.rng)
+
+        if stamped.transport is Transport.UDP:
+            loss = self.network.loss_probability(stamped.src, stamped.dst, self.rng)
+            if self.rng.random() < loss:
+                return
+            self._schedule(self.now + latency, "deliver", stamped)
+            return
+
+        # TCP semantics: verify / establish the connection first.
+        if dest is None or not dest.alive:
+            self._schedule_connection_error(node.addr, stamped.dst)
+            node.connections.close(stamped.dst)
+            return
+        recorded = node.connections.recorded_incarnation(stamped.dst)
+        if recorded is not None and recorded != dest.incarnation:
+            # Stale connection: the peer reset since establishment.
+            node.connections.close(stamped.dst)
+            self._schedule_connection_error(node.addr, stamped.dst)
+            return
+        if recorded is None:
+            node.connections.establish(stamped.dst, dest.incarnation)
+            dest.connections.establish(node.addr, node.incarnation)
+        delivery = self.now + latency
+        key = (stamped.src, stamped.dst)
+        delivery = max(delivery, self._last_tcp_delivery.get(key, 0.0) + 1e-6)
+        self._last_tcp_delivery[key] = delivery
+        self._schedule(delivery, "deliver", stamped)
+
+    def transmit(self, addr: Address, message: Message) -> None:
+        """Send a message on behalf of ``addr`` (used by the CrystalBall
+        controller for checkpoint requests and responses)."""
+        node = self.nodes[addr]
+        self._transmit(node, message)
+
+    def _schedule_connection_error(self, at: Address, peer: Address) -> None:
+        latency = self.network.latency(peer, at, self.rng)
+        self._schedule(self.now + latency, "connerr", ConnectionErrorEvent(node=at, peer=peer))
+
+    def _break_connection(self, node: SimNode, peer: Address) -> None:
+        """Tear down the TCP connection between ``node`` and ``peer`` and
+        signal the peer with an RST (used by execution steering)."""
+        node.connections.close(peer)
+        peer_node = self.nodes.get(peer)
+        if peer_node is not None and peer_node.alive:
+            peer_node.connections.close(node.addr)
+            self._schedule_connection_error(peer, node.addr)
+
+    # -- resets / churn ---------------------------------------------------------------------
+
+    def _perform_reset(self, addr: Address) -> None:
+        node = self.nodes.get(addr)
+        if node is None:
+            return
+        node.incarnation += 1
+        node.stats.resets += 1
+        affected = node.connections.close_all()
+        node.armed_timers.clear()
+        # RST packets towards peers; each may be lost (silent reset), which is
+        # the scenario that exposes the RandTree inconsistency of Figure 2.
+        for peer in affected:
+            peer_node = self.nodes.get(peer)
+            if peer_node is None or not peer_node.alive:
+                continue
+            if self.rng.random() < self.network.rst_loss_probability:
+                continue  # silent: the peer keeps its stale connection
+            peer_node.connections.close(addr)
+            self._schedule_connection_error(peer, addr)
+        # Reboot with fresh state.
+        ctx = self._make_context(node)
+        node.state = node.protocol.execute(ctx, node.state, ResetEvent(node=addr))
+        node.clock = LogicalClock()
+        self._apply_effects(node, ctx)
+        node.stats.events_executed += 1
+        self.events_executed += 1
+        self._record_trace(node, ResetEvent(node=addr), "reset")
+        for observer in self.observers:
+            observer(self, node, ResetEvent(node=addr))
+
+    def crash_node(self, addr: Address) -> None:
+        """Take a node permanently offline (fail-stop, used by churn)."""
+        node = self.nodes.get(addr)
+        if node is None:
+            return
+        node.alive = False
+        node.armed_timers.clear()
+        node.connections.close_all()
+
+    def revive_node(self, addr: Address) -> None:
+        """Bring a crashed node back with fresh state."""
+        node = self.nodes.get(addr)
+        if node is None:
+            return
+        node.alive = True
+        node.incarnation += 1
+        ctx = self._make_context(node)
+        node.state = node.protocol.execute(ctx, node.state, ResetEvent(node=addr))
+        self._apply_effects(node, ctx)
+
+    # -- introspection -------------------------------------------------------------------------
+
+    def node_states(self) -> dict[Address, tuple[NodeState, frozenset[str]]]:
+        """Live view of all alive nodes: protocol state plus armed timers."""
+        return {
+            addr: (node.state, node.timer_names())
+            for addr, node in self.nodes.items()
+            if node.alive
+        }
+
+    def inflight_messages(self) -> list[Message]:
+        """Service messages currently queued for delivery."""
+        return [
+            entry.data
+            for entry in self._queue
+            if entry.kind == "deliver" and not entry.data.control
+        ]
+
+    def total_service_bytes(self) -> int:
+        return sum(n.stats.service_bytes_sent for n in self.nodes.values())
+
+    def total_control_bytes(self) -> int:
+        return sum(n.stats.control_bytes_sent for n in self.nodes.values())
+
+    def _record_trace(self, node: SimNode, event: Event, outcome: str) -> None:
+        if self.trace_enabled:
+            self.trace.append(
+                TraceRecord(time=self.now, node=node.addr,
+                            description=event.describe(), kind=outcome)
+            )

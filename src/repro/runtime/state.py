@@ -1,0 +1,56 @@
+"""Base class for protocol node state.
+
+Protocol state must be (a) deep-copyable, because the model checker and the
+immediate safety check speculatively execute handlers on copies, (b)
+hashable in a canonical way, because explored-state sets store state hashes,
+and (c) size-measurable, for checkpoint bandwidth accounting.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from typing import Any
+
+from .serialization import compressed_size, estimate_size, freeze
+
+
+@dataclasses.dataclass
+class NodeState:
+    """Base class for the local state of one protocol instance.
+
+    Subclasses are ordinary (mutable) dataclasses; handlers mutate them in
+    place.  The runtime and the model checker use :meth:`clone` whenever they
+    need an independent copy.
+    """
+
+    def clone(self) -> "NodeState":
+        """Deep copy of this state (checkpointing, speculative execution)."""
+        return copy.deepcopy(self)
+
+    def signature(self) -> tuple:
+        """Canonical hashable representation of this state."""
+        fields = tuple(
+            (f.name, freeze(getattr(self, f.name)))
+            for f in dataclasses.fields(self)
+        )
+        return (type(self).__name__,) + fields
+
+    def state_hash(self) -> int:
+        """Deterministic hash of :meth:`signature`."""
+        return hash(self.signature())
+
+    def size_bytes(self) -> int:
+        """Approximate serialized size of this state."""
+        return estimate_size(self)
+
+    def compressed_bytes(self) -> int:
+        """Approximate size after checkpoint compression (Section 4)."""
+        return compressed_size(self)
+
+    def summary(self) -> dict[str, Any]:
+        """A small human-readable dict used in traces and examples."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in dataclasses.fields(self)
+        }

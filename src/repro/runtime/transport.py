@@ -1,0 +1,89 @@
+"""Connection tracking for TCP-like transports.
+
+The evaluated bugs hinge on TCP failure semantics: silent node resets, lost
+RST packets, and error upcalls when a stale connection is used.  The
+:class:`ConnectionTable` records, per node, which peers it believes it has an
+established connection with and the peer *incarnation* observed at
+establishment time; a peer that has reset since then has a newer incarnation
+and any use of the stale connection produces a transport error.
+
+Bullet' additionally depends on the behaviour of a bounded, non-blocking
+send queue (MaceTcpTransport): when the queue is full new data is refused,
+which is what exposes the shadow-file-map bug.  :class:`SendQueue` models
+that behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .address import Address
+from .messages import Message
+
+
+@dataclass
+class ConnectionTable:
+    """Per-node table of established TCP connections."""
+
+    #: peer address -> peer incarnation number recorded when the connection
+    #: was established.
+    peers: dict[Address, int] = field(default_factory=dict)
+
+    def is_connected(self, peer: Address) -> bool:
+        return peer in self.peers
+
+    def establish(self, peer: Address, peer_incarnation: int) -> None:
+        self.peers[peer] = peer_incarnation
+
+    def recorded_incarnation(self, peer: Address) -> Optional[int]:
+        return self.peers.get(peer)
+
+    def close(self, peer: Address) -> bool:
+        """Drop the connection entry; returns True if it existed."""
+        return self.peers.pop(peer, None) is not None
+
+    def close_all(self) -> list[Address]:
+        """Drop every connection; returns the list of peers affected."""
+        peers = list(self.peers)
+        self.peers.clear()
+        return peers
+
+    def connected_peers(self) -> list[Address]:
+        return list(self.peers)
+
+
+@dataclass
+class SendQueue:
+    """A bounded non-blocking send queue in front of a TCP connection.
+
+    ``offer`` either accepts the message (True) or refuses it because the
+    queue is full (False) — it never blocks, mirroring MaceTcpTransport.
+    """
+
+    capacity_bytes: int = 65536
+    queued_bytes: int = 0
+    queued_messages: int = 0
+    refused_messages: int = 0
+
+    def offer(self, message: Message) -> bool:
+        """Try to enqueue ``message``; returns False when the queue is full."""
+        size = message.size_bytes()
+        if self.queued_bytes + size > self.capacity_bytes:
+            self.refused_messages += 1
+            return False
+        self.queued_bytes += size
+        self.queued_messages += 1
+        return True
+
+    def drain(self, budget_bytes: int) -> int:
+        """Drain up to ``budget_bytes`` from the queue; returns bytes drained."""
+        drained = min(self.queued_bytes, max(0, budget_bytes))
+        self.queued_bytes -= drained
+        if self.queued_bytes == 0:
+            self.queued_messages = 0
+        return drained
+
+    @property
+    def is_full(self) -> bool:
+        return self.queued_bytes >= self.capacity_bytes

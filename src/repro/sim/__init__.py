@@ -1,0 +1,16 @@
+"""Simulation support: INET-like topologies, workload drivers, trace tools."""
+
+from .topology import InetTopology, TopologyConfig
+from .trace import TraceSummary, filter_trace, format_trace, summarize
+from .workload import OverlayWorkload, WorkloadResult
+
+__all__ = [
+    "InetTopology",
+    "TopologyConfig",
+    "TraceSummary",
+    "filter_trace",
+    "format_trace",
+    "summarize",
+    "OverlayWorkload",
+    "WorkloadResult",
+]

@@ -1,0 +1,141 @@
+"""INET-like network topologies (Section 5.1).
+
+The paper runs its ModelNet experiments on a 5,000-node INET topology that
+preserves the power-law degree distribution of the Internet, annotated with
+per-link bandwidths (100 Mbps transit-transit, 5/1 Mbps access) and random
+cross-traffic loss in [0.001, 0.005].  :class:`InetTopology` generates a
+comparable topology with :mod:`networkx` and derives per-pair latencies and
+loss probabilities that the runtime's network model can consume.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import networkx as nx
+
+from ..runtime.address import Address
+from ..runtime.network import NetworkModel
+
+
+@dataclass
+class TopologyConfig:
+    """Parameters of the generated topology."""
+
+    router_count: int = 200
+    attachment_edges: int = 2
+    #: per-hop propagation delay range in seconds.
+    hop_delay_range: tuple[float, float] = (0.002, 0.02)
+    #: target mean RTT, used to scale hop delays (the paper's average is 130 ms).
+    target_mean_rtt: float = 0.130
+    #: per-link cross-traffic loss range.
+    loss_range: tuple[float, float] = (0.001, 0.005)
+    transit_bandwidth_bps: float = 100e6
+    access_inbound_bps: float = 5e6
+    access_outbound_bps: float = 1e6
+    seed: int = 0
+
+
+class InetTopology:
+    """A power-law router topology with clients attached to stub routers."""
+
+    def __init__(self, config: Optional[TopologyConfig] = None) -> None:
+        self.config = config or TopologyConfig()
+        rng = random.Random(self.config.seed)
+        self.graph = nx.barabasi_albert_graph(
+            self.config.router_count, self.config.attachment_edges,
+            seed=self.config.seed)
+        low, high = self.config.hop_delay_range
+        for u, v in self.graph.edges:
+            self.graph.edges[u, v]["delay"] = rng.uniform(low, high)
+            self.graph.edges[u, v]["loss"] = rng.uniform(*self.config.loss_range)
+        self._rng = rng
+        self._client_router: dict[Address, int] = {}
+        self._path_delay_cache: dict[tuple[int, int], float] = {}
+        self._scale = 1.0
+        self._calibrate()
+
+    # -- construction ----------------------------------------------------------------
+
+    def _stub_routers(self) -> list[int]:
+        degrees = dict(self.graph.degree)
+        one_degree = [n for n, d in degrees.items() if d == 1]
+        if one_degree:
+            return one_degree
+        cutoff = sorted(degrees.values())[len(degrees) // 4]
+        return [n for n, d in degrees.items() if d <= cutoff]
+
+    def _calibrate(self) -> None:
+        """Scale hop delays so the mean RTT approximates the target."""
+        nodes = list(self.graph.nodes)
+        if len(nodes) < 2:
+            return
+        samples = []
+        for _ in range(64):
+            a, b = self._rng.sample(nodes, 2)
+            samples.append(self._router_delay(a, b))
+        mean_rtt = 2 * sum(samples) / len(samples)
+        if mean_rtt > 0:
+            self._scale = self.config.target_mean_rtt / mean_rtt
+            self._path_delay_cache.clear()
+
+    def attach_clients(self, addresses: Sequence[Address]) -> None:
+        """Randomly attach client addresses to one-degree stub routers."""
+        stubs = self._stub_routers()
+        for addr in addresses:
+            self._client_router[addr] = self._rng.choice(stubs)
+
+    # -- queries ------------------------------------------------------------------------
+
+    def _router_delay(self, a: int, b: int) -> float:
+        key = (min(a, b), max(a, b))
+        if key not in self._path_delay_cache:
+            try:
+                path = nx.shortest_path(self.graph, a, b)
+            except nx.NetworkXNoPath:
+                self._path_delay_cache[key] = 0.2
+            else:
+                delay = sum(self.graph.edges[u, v]["delay"]
+                            for u, v in zip(path, path[1:]))
+                self._path_delay_cache[key] = delay
+        return self._path_delay_cache[key]
+
+    def latency(self, src: Address, dst: Address,
+                rng: Optional[random.Random] = None) -> float:
+        """One-way latency between two attached clients."""
+        rng = rng or self._rng
+        router_a = self._client_router.get(src)
+        router_b = self._client_router.get(dst)
+        if router_a is None or router_b is None:
+            return self.config.target_mean_rtt / 2
+        access_delay = 0.002
+        base = self._router_delay(router_a, router_b) * self._scale + 2 * access_delay
+        return max(1e-4, base * (1.0 + rng.uniform(-0.05, 0.05)))
+
+    def loss_probability(self, src: Address, dst: Address,
+                         rng: Optional[random.Random] = None) -> float:
+        rng = rng or self._rng
+        return rng.uniform(*self.config.loss_range)
+
+    def network_model(self, **kwargs) -> NetworkModel:
+        """A runtime :class:`NetworkModel` backed by this topology."""
+        return NetworkModel(
+            latency_fn=lambda s, d, rng: self.latency(s, d, rng),
+            loss_fn=lambda s, d, rng: self.loss_probability(s, d, rng),
+            **kwargs,
+        )
+
+    def mean_rtt_estimate(self, addresses: Sequence[Address],
+                          samples: int = 50) -> float:
+        """Estimate the mean RTT among the attached clients."""
+        attached = [a for a in addresses if a in self._client_router]
+        if len(attached) < 2:
+            return self.config.target_mean_rtt
+        rng = random.Random(self.config.seed + 1)
+        total = 0.0
+        for _ in range(samples):
+            a, b = rng.sample(attached, 2)
+            total += 2 * self.latency(a, b, rng)
+        return total / samples

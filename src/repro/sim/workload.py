@@ -1,0 +1,125 @@
+"""Workload drivers for the live experiments.
+
+These helpers assemble the runs the evaluation needs: a RandTree or Chord
+deployment where nodes join over time and churn resets participants, with
+optional CrystalBall controllers attached.  Both the deep-online-debugging
+experiments (Table 1) and the execution-steering experiment (Section 5.4.1)
+are built from :class:`OverlayWorkload`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..core.controller import (
+    CrystalBallConfig,
+    CrystalBallController,
+    Mode,
+    attach_crystalball,
+)
+from ..core.monitor import LivePropertyMonitor
+from ..mc.properties import SafetyProperty
+from ..runtime.address import Address, make_addresses
+from ..runtime.churn import ChurnProcess
+from ..runtime.network import NetworkModel
+from ..runtime.protocol import Protocol
+from ..runtime.simulator import Simulator
+
+
+@dataclass
+class WorkloadResult:
+    """Everything the benchmarks need from one live run."""
+
+    simulator: Simulator
+    controllers: dict[Address, CrystalBallController]
+    monitor: LivePropertyMonitor
+    churn_events: int
+
+    def total_predicted(self) -> int:
+        return sum(c.stats.violations_predicted for c in self.controllers.values())
+
+    def total_steered(self) -> int:
+        return sum(c.stats.steering_modified_behavior
+                   for c in self.controllers.values())
+
+    def total_unhelpful(self) -> int:
+        return sum(c.stats.steering_unhelpful for c in self.controllers.values())
+
+    def total_isc_blocks(self) -> int:
+        return sum(c.stats.isc_blocks for c in self.controllers.values())
+
+    def total_filter_triggers(self) -> int:
+        return sum(c.stats.filters_triggered for c in self.controllers.values())
+
+    def distinct_violations_found(self) -> set[str]:
+        found: set[str] = set()
+        for controller in self.controllers.values():
+            found |= controller.stats.distinct_violations
+        return found
+
+    def checkpoint_bytes(self) -> int:
+        return sum(c.stats.checkpoint_bytes_sent for c in self.controllers.values())
+
+
+@dataclass
+class OverlayWorkload:
+    """A live overlay deployment with staggered joins and churn."""
+
+    protocol_factory: Callable[[], Protocol]
+    properties: Sequence[SafetyProperty]
+    node_count: int = 6
+    duration: float = 600.0
+    join_spacing: float = 5.0
+    churn_mean_interval: Optional[float] = 60.0
+    crystalball_mode: Mode = Mode.OFF
+    crystalball_config: Optional[CrystalBallConfig] = None
+    #: which nodes run the model checker (None = all when CrystalBall is on).
+    checker_nodes: Optional[Sequence[Address]] = None
+    network: Optional[NetworkModel] = None
+    seed: int = 0
+    tick_interval: float = 10.0
+    max_events: int = 500_000
+    address_start: int = 1
+
+    def addresses(self) -> list[Address]:
+        return make_addresses(self.node_count, start=self.address_start)
+
+    def run(self) -> WorkloadResult:
+        addresses = self.addresses()
+        network = self.network or NetworkModel()
+        sim = Simulator(self.protocol_factory, network, seed=self.seed,
+                        tick_interval=self.tick_interval)
+        for addr in addresses:
+            sim.add_node(addr)
+
+        controllers: dict[Address, CrystalBallController] = {}
+        if self.crystalball_mode is not Mode.OFF:
+            config = self.crystalball_config or CrystalBallConfig(
+                mode=self.crystalball_mode)
+            config.mode = self.crystalball_mode
+            controllers = attach_crystalball(
+                sim, self.properties, config=config, nodes=self.checker_nodes)
+
+        monitor = LivePropertyMonitor(self.properties).install(sim)
+
+        # Staggered joins: the bootstrap node first, then one node every
+        # ``join_spacing`` seconds.
+        for index, addr in enumerate(addresses):
+            sim.schedule_app(1.0 + index * self.join_spacing, addr, "join", {})
+
+        churn_events = 0
+        if self.churn_mean_interval is not None:
+            churn = ChurnProcess(nodes=addresses,
+                                 mean_interval=self.churn_mean_interval,
+                                 seed=self.seed + 7,
+                                 stop_after=self.duration * 0.9)
+            churn.install(sim)
+            sim.run(until=self.duration, max_events=self.max_events)
+            churn_events = churn.events_injected
+        else:
+            sim.run(until=self.duration, max_events=self.max_events)
+
+        return WorkloadResult(simulator=sim, controllers=controllers,
+                              monitor=monitor, churn_events=churn_events)

@@ -1,0 +1,10 @@
+"""The distributed services evaluated in the paper.
+
+Each subpackage contains a from-scratch implementation of one service with
+the inconsistencies the paper reports (behind ``fix_*`` flags), its safety
+properties, and scripted scenarios corresponding to the paper's figures.
+"""
+
+from . import bulletprime, chord, paxos, randtree
+
+__all__ = ["bulletprime", "chord", "paxos", "randtree"]

@@ -1,0 +1,78 @@
+"""Safety properties for Bullet' (Section 5.2.3)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ...mc.global_state import GlobalState
+from ...mc.properties import SafetyProperty
+from ...runtime.address import Address
+from .protocol import DIFF
+from .state import BulletState
+
+
+def _file_map_consistency(state: GlobalState) -> Iterable[tuple[Optional[Address], str]]:
+    """Sender's file map and the receiver's view of it must agree.
+
+    A sender believes it has announced ``have - shadow[receiver]`` to each
+    receiver.  Every such block must either already be in the receiver's
+    view of the sender or still be carried by an in-flight Diff message from
+    the sender to the receiver; otherwise the receiver will never learn
+    about the block (the consequence of the cleared shadow file map).
+    """
+    inflight_blocks: dict[tuple[Address, Address], set[int]] = {}
+    for message in state.inflight:
+        if message.mtype == DIFF:
+            key = (message.src, message.dst)
+            inflight_blocks.setdefault(key, set()).update(message.get("blocks", ()))
+
+    for sender_addr, sender_local in state.nodes.items():
+        sender = sender_local.state
+        if not isinstance(sender, BulletState):
+            continue
+        for receiver_addr in sender.peers:
+            receiver_local = state.nodes.get(receiver_addr)
+            if receiver_local is None or not isinstance(receiver_local.state, BulletState):
+                continue
+            receiver = receiver_local.state
+            announced = sender.told(receiver_addr)
+            known = receiver.view.get(sender_addr, set())
+            pending = inflight_blocks.get((sender_addr, receiver_addr), set())
+            missing = announced - known - pending
+            if missing:
+                yield sender_addr, (
+                    f"sender believes receiver {receiver_addr} knows about "
+                    f"blocks {sorted(missing)} but no Diff carrying them was "
+                    f"delivered or is in flight")
+
+
+def _view_is_subset_of_have(state: GlobalState) -> Iterable[tuple[Optional[Address], str]]:
+    """A receiver never believes a sender has blocks the sender lacks."""
+    for receiver_addr, receiver_local in state.nodes.items():
+        receiver = receiver_local.state
+        if not isinstance(receiver, BulletState):
+            continue
+        for sender_addr, view in receiver.view.items():
+            sender_local = state.nodes.get(sender_addr)
+            if sender_local is None or not isinstance(sender_local.state, BulletState):
+                continue
+            phantom = view - sender_local.state.have
+            if phantom:
+                yield receiver_addr, (
+                    f"receiver believes sender {sender_addr} has blocks "
+                    f"{sorted(phantom)} which the sender does not have")
+
+
+FILE_MAP_CONSISTENCY = SafetyProperty(
+    "bullet.file_map_consistency", _file_map_consistency,
+    "Sender's file map and the receiver's view of it must be identical "
+    "(modulo in-flight Diffs).")
+
+VIEW_SUBSET_OF_HAVE = SafetyProperty(
+    "bullet.view_subset_of_have", _view_is_subset_of_have,
+    "A receiver's view of a sender never contains blocks the sender lacks.")
+
+ALL_PROPERTIES: list[SafetyProperty] = [
+    FILE_MAP_CONSISTENCY,
+    VIEW_SUBSET_OF_HAVE,
+]

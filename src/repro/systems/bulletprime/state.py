@@ -1,0 +1,56 @@
+"""Bullet' node state (Section 5.2.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...runtime.address import Address
+from ...runtime.state import NodeState
+
+
+@dataclass
+class BulletState(NodeState):
+    """Local state of one Bullet' participant.
+
+    Every node is both a sender and a receiver on its mesh links.  As a
+    sender it keeps a per-receiver *shadow file map* — the blocks it has not
+    yet told that receiver about.  As a receiver it keeps, per sender, its
+    view of the sender's file map, which drives the block request logic.
+    """
+
+    addr: Address
+    source: Optional[Address] = None
+    peers: tuple[Address, ...] = ()
+    block_count: int = 0
+    is_source: bool = False
+
+    #: blocks this node currently has.
+    have: set[int] = field(default_factory=set)
+    #: sender side: peer -> blocks not yet announced to that peer.
+    shadow: dict[Address, set[int]] = field(default_factory=dict)
+    #: receiver side: peer -> blocks we believe that peer has.
+    view: dict[Address, set[int]] = field(default_factory=dict)
+    #: blocks requested from some sender but not yet received.
+    requested: set[int] = field(default_factory=set)
+    #: bytes queued in the (bounded, non-blocking) transport per peer.
+    queue_bytes: dict[Address, int] = field(default_factory=dict)
+    #: simulated time at which the download completed (None = in progress).
+    completed_at: Optional[float] = None
+
+    def told(self, peer: Address) -> set[int]:
+        """Blocks this node believes it has announced to ``peer``."""
+        return self.have - self.shadow.get(peer, set())
+
+    def acquire(self, block: int) -> None:
+        """Record a newly obtained block and mark it for announcement."""
+        if block in self.have:
+            return
+        self.have.add(block)
+        self.requested.discard(block)
+        for peer in self.peers:
+            self.shadow.setdefault(peer, set()).add(block)
+
+    @property
+    def complete(self) -> bool:
+        return self.block_count > 0 and len(self.have) >= self.block_count

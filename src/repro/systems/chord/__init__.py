@@ -1,0 +1,42 @@
+"""Chord: a distributed hash table providing key-based routing (Section 5.2.2)."""
+
+from .protocol import (
+    Chord,
+    ChordConfig,
+    FIND_PRED,
+    FIND_PRED_REPLY,
+    GET_PRED,
+    GET_PRED_REPLY,
+    JOIN_TIMER,
+    STABILIZE_TIMER,
+    UPDATE_PRED,
+)
+from .properties import (
+    ALL_PROPERTIES,
+    ORDERING_CONSTRAINT,
+    PRED_SELF_IMPLIES_SUCC_SELF,
+    SUCC_SELF_IMPLIES_PRED_SELF,
+)
+from .scenarios import Figure10Scenario, Figure11Scenario
+from .state import ChordState, in_interval, ring_distance
+
+__all__ = [
+    "Chord",
+    "ChordConfig",
+    "FIND_PRED",
+    "FIND_PRED_REPLY",
+    "GET_PRED",
+    "GET_PRED_REPLY",
+    "JOIN_TIMER",
+    "STABILIZE_TIMER",
+    "UPDATE_PRED",
+    "ALL_PROPERTIES",
+    "ORDERING_CONSTRAINT",
+    "PRED_SELF_IMPLIES_SUCC_SELF",
+    "SUCC_SELF_IMPLIES_PRED_SELF",
+    "Figure10Scenario",
+    "Figure11Scenario",
+    "ChordState",
+    "in_interval",
+    "ring_distance",
+]

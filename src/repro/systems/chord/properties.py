@@ -1,0 +1,75 @@
+"""Safety properties for Chord (Section 5.2.2)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ...mc.global_state import GlobalState
+from ...mc.properties import SafetyProperty, node_property
+from ...runtime.address import Address
+from .state import ChordState, in_interval
+
+
+def _pred_self_implies_succ_self(addr: Address, state: ChordState,
+                                 timers: frozenset[str],
+                                 gs: GlobalState) -> Iterable[str]:
+    if not isinstance(state, ChordState):
+        return
+    if state.predecessor == addr:
+        others = [s for s in state.successors if s != addr]
+        if others:
+            yield (f"predecessor points to self but the successor list still "
+                   f"contains {sorted(str(a) for a in others)}")
+
+
+def _ordering_constraint(addr: Address, state: ChordState,
+                         timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
+    if not isinstance(state, ChordState) or state.predecessor is None:
+        return
+    if state.predecessor == addr:
+        return
+    pred_id = state.id_of(state.predecessor)
+    if pred_id is None:
+        return
+    for successor in state.successors:
+        if successor in (addr, state.predecessor):
+            continue
+        succ_id = state.id_of(successor)
+        if succ_id is None:
+            continue
+        if in_interval(succ_id, pred_id, state.node_id):
+            yield (f"successor {successor} (id {succ_id}) lies between "
+                   f"predecessor {state.predecessor} (id {pred_id}) and the "
+                   f"node's own id {state.node_id}")
+
+
+def _no_self_successor_only(addr: Address, state: ChordState,
+                            timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
+    if not isinstance(state, ChordState) or not state.joined:
+        return
+    if state.successors and all(s == addr for s in state.successors) \
+            and state.predecessor is not None and state.predecessor != addr:
+        yield ("successor list contains only the node itself while the "
+               f"predecessor is {state.predecessor}")
+
+
+PRED_SELF_IMPLIES_SUCC_SELF = node_property(
+    "chord.pred_self_implies_succ_self", _pred_self_implies_succ_self,
+    "If a node's predecessor is itself, its successor must also be itself "
+    "(Figure 10).")
+
+ORDERING_CONSTRAINT = node_property(
+    "chord.ordering_constraint", _ordering_constraint,
+    "No successor's id may lie between the predecessor's id and the node's "
+    "own id (Figure 11).")
+
+SUCC_SELF_IMPLIES_PRED_SELF = node_property(
+    "chord.succ_self_implies_pred_self", _no_self_successor_only,
+    "If the successor list contains only the node itself, the predecessor "
+    "must be the node itself as well.")
+
+ALL_PROPERTIES: list[SafetyProperty] = [
+    PRED_SELF_IMPLIES_SUCC_SELF,
+    ORDERING_CONSTRAINT,
+    SUCC_SELF_IMPLIES_PRED_SELF,
+]

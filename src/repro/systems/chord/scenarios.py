@@ -1,0 +1,130 @@
+"""Scripted Chord scenarios from the paper (Figures 10 and 11)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...mc.global_state import GlobalState
+from ...runtime.address import Address
+from .protocol import Chord, ChordConfig, STABILIZE_TIMER
+from .state import ChordState
+
+
+@dataclass
+class Figure10Scenario:
+    """The state preceding the "predecessor is self" inconsistency.
+
+    Nodes A, B and C sit consecutively on the ring (D is a further live node
+    that keeps the successor lists non-trivial).  B has already reset and A
+    has removed it (A's successor is now C).  A silent reset of C followed by
+    its re-join through A leads to C having itself as predecessor while its
+    successor list still names other nodes.
+    """
+
+    a: Address
+    b: Address
+    c: Address
+    d: Address
+    protocol: Chord
+
+    @classmethod
+    def build(cls, *, fixed: bool = False) -> "Figure10Scenario":
+        a, b, c, d = Address(10), Address(20), Address(30), Address(40)
+        config = ChordConfig(
+            bootstrap=(a,),
+            id_map={a: 100, b: 200, c: 300, d: 500},
+            fix_pred_self=fixed,
+            fix_ordering=fixed,
+        )
+        return cls(a=a, b=b, c=c, d=d, protocol=Chord(config))
+
+    def node_states(self) -> dict[Address, ChordState]:
+        proto = self.protocol
+        ids = {addr: proto.node_id(addr) for addr in (self.a, self.b, self.c, self.d)}
+
+        sa = proto.initial_state(self.a)
+        sa.joined = True
+        sa.predecessor = self.d
+        sa.successors = [self.c, self.d]
+        for addr, node_id in ids.items():
+            sa.remember(addr, node_id)
+
+        sc = proto.initial_state(self.c)
+        sc.joined = True
+        sc.predecessor = self.b
+        sc.successors = [self.d, self.a]
+        for addr, node_id in ids.items():
+            sc.remember(addr, node_id)
+
+        sd = proto.initial_state(self.d)
+        sd.joined = True
+        sd.predecessor = self.c
+        sd.successors = [self.a]
+        for addr, node_id in ids.items():
+            sd.remember(addr, node_id)
+        return {self.a: sa, self.c: sc, self.d: sd}
+
+    def global_state(self) -> GlobalState:
+        states = self.node_states()
+        timers = {addr: frozenset({STABILIZE_TIMER}) for addr in states}
+        return GlobalState.from_snapshot(states, timers=timers)
+
+
+@dataclass
+class Figure11Scenario:
+    """The state preceding the node-ordering violation.
+
+    Nodes ``a_i``, ``a_im1`` (= A\\ :sub:`i-1`) and ``a_im2`` (= A\\ :sub:`i-2`)
+    have just joined through ``a_i`` with identical FindPredReply contents:
+    both set their predecessor and successor to ``a_i``.  A stabilize round
+    at ``a_im1`` then makes it adopt ``a_im2`` as an extra successor while
+    its predecessor still points at ``a_i``.
+    """
+
+    a_i: Address
+    a_im1: Address
+    a_im2: Address
+    protocol: Chord
+
+    @classmethod
+    def build(cls, *, fixed: bool = False) -> "Figure11Scenario":
+        a_i, a_im1, a_im2 = Address(1), Address(3), Address(5)
+        config = ChordConfig(
+            bootstrap=(a_i,),
+            id_map={a_i: 100, a_im1: 900, a_im2: 800},
+            fix_pred_self=fixed,
+            fix_ordering=fixed,
+        )
+        return cls(a_i=a_i, a_im1=a_im1, a_im2=a_im2, protocol=Chord(config))
+
+    def node_states(self) -> dict[Address, ChordState]:
+        proto = self.protocol
+        ids = {addr: proto.node_id(addr)
+               for addr in (self.a_i, self.a_im1, self.a_im2)}
+
+        si = proto.initial_state(self.a_i)
+        si.joined = True
+        si.predecessor = self.a_im1
+        si.successors = [self.a_im2]
+        for addr, node_id in ids.items():
+            si.remember(addr, node_id)
+
+        sm1 = proto.initial_state(self.a_im1)
+        sm1.joined = True
+        sm1.predecessor = self.a_i
+        sm1.successors = [self.a_i]
+        for addr, node_id in ids.items():
+            sm1.remember(addr, node_id)
+
+        sm2 = proto.initial_state(self.a_im2)
+        sm2.joined = True
+        sm2.predecessor = self.a_i
+        sm2.successors = [self.a_i]
+        for addr, node_id in ids.items():
+            sm2.remember(addr, node_id)
+        return {self.a_i: si, self.a_im1: sm1, self.a_im2: sm2}
+
+    def global_state(self) -> GlobalState:
+        states = self.node_states()
+        timers = {addr: frozenset({STABILIZE_TIMER}) for addr in states}
+        return GlobalState.from_snapshot(states, timers=timers)

@@ -1,0 +1,72 @@
+"""Chord node state (Section 5.2.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...runtime.address import Address
+from ...runtime.state import NodeState
+
+
+@dataclass
+class ChordState(NodeState):
+    """Local state of one Chord participant.
+
+    Each node has a Chord identifier, a predecessor pointer and a successor
+    list ordered by ring distance from the node's own id.
+    """
+
+    addr: Address
+    node_id: int = 0
+    bootstrap: tuple[Address, ...] = ()
+    successor_list_size: int = 4
+
+    joined: bool = False
+    predecessor: Optional[Address] = None
+    successors: list[Address] = field(default_factory=list)
+    #: id of every peer this node has learnt about (for routing and the
+    #: ordering property).
+    known_ids: dict[Address, int] = field(default_factory=dict)
+
+    def successor(self) -> Optional[Address]:
+        """The immediate successor, or ``None`` when the list is empty."""
+        return self.successors[0] if self.successors else None
+
+    def remember(self, addr: Address, node_id: int) -> None:
+        self.known_ids[addr] = node_id
+
+    def id_of(self, addr: Address) -> Optional[int]:
+        if addr == self.addr:
+            return self.node_id
+        return self.known_ids.get(addr)
+
+    def add_successor(self, addr: Address) -> None:
+        """Insert ``addr`` into the successor list, keeping ring order."""
+        if addr == self.addr or addr in self.successors:
+            return
+        self.successors.append(addr)
+        self.successors.sort(
+            key=lambda a: ring_distance(self.node_id, self.known_ids.get(a, 0)))
+        del self.successors[self.successor_list_size:]
+
+    def forget(self, peer: Address) -> None:
+        """Remove every reference to ``peer`` (transport error handling)."""
+        if self.predecessor == peer:
+            self.predecessor = None
+        self.successors = [s for s in self.successors if s != peer]
+        self.known_ids.pop(peer, None)
+
+
+def ring_distance(from_id: int, to_id: int, *, bits: int = 16) -> int:
+    """Clockwise distance from ``from_id`` to ``to_id`` on the Chord ring."""
+    space = 1 << bits
+    return (to_id - from_id) % space
+
+
+def in_interval(value: int, low: int, high: int, *, bits: int = 16) -> bool:
+    """True when ``value`` lies strictly inside the ring interval (low, high)."""
+    space = 1 << bits
+    if low == high:
+        return value != low
+    return (value - low) % space < (high - low) % space and value != low and value != high

@@ -1,0 +1,29 @@
+"""Paxos: fault-tolerant consensus (Section 5.4.2)."""
+
+from .properties import (
+    ACCEPTED_IMPLIES_PROMISED,
+    ALL_PROPERTIES,
+    AT_MOST_ONE_VALUE_CHOSEN,
+    LOCAL_AGREEMENT,
+)
+from .protocol import ACCEPT, LEARN, PREPARE, PROMISE, PROPOSE_TIMER, Paxos, PaxosConfig
+from .scenarios import Figure13Scenario, PaxosRunResult
+from .state import NO_ROUND, PaxosState
+
+__all__ = [
+    "ACCEPT",
+    "LEARN",
+    "PREPARE",
+    "PROMISE",
+    "PROPOSE_TIMER",
+    "Paxos",
+    "PaxosConfig",
+    "ACCEPTED_IMPLIES_PROMISED",
+    "ALL_PROPERTIES",
+    "AT_MOST_ONE_VALUE_CHOSEN",
+    "LOCAL_AGREEMENT",
+    "Figure13Scenario",
+    "PaxosRunResult",
+    "NO_ROUND",
+    "PaxosState",
+]

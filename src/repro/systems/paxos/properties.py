@@ -1,0 +1,66 @@
+"""Safety properties for Paxos (Section 5.4.2).
+
+The property installed in the paper's experiments is the original Paxos
+safety property: at most one value can be chosen, across all nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ...mc.global_state import GlobalState
+from ...mc.properties import SafetyProperty, node_property
+from ...runtime.address import Address
+from .state import PaxosState
+
+
+def _agreement(state: GlobalState) -> Iterable[tuple[Optional[Address], str]]:
+    chosen: dict[int, list[Address]] = {}
+    for addr, local in state.nodes.items():
+        if not isinstance(local.state, PaxosState):
+            continue
+        for value in local.state.chosen_values:
+            chosen.setdefault(value, []).append(addr)
+    if len(chosen) > 1:
+        detail = ", ".join(
+            f"value {value} chosen at {sorted(str(a) for a in addrs)}"
+            for value, addrs in sorted(chosen.items())
+        )
+        yield None, f"more than one value chosen: {detail}"
+
+
+def _local_agreement(addr: Address, state: PaxosState,
+                     timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
+    if isinstance(state, PaxosState) and len(state.chosen_values) > 1:
+        yield (f"node observed multiple chosen values: "
+               f"{sorted(state.chosen_values)}")
+
+
+def _accepted_implies_promised(addr: Address, state: PaxosState,
+                               timers: frozenset[str],
+                               gs: GlobalState) -> Iterable[str]:
+    if not isinstance(state, PaxosState):
+        return
+    if state.accepted_value is not None and state.accepted_round > state.promised_round:
+        yield (f"accepted round {state.accepted_round} exceeds promised round "
+               f"{state.promised_round}")
+
+
+AT_MOST_ONE_VALUE_CHOSEN = SafetyProperty(
+    "paxos.at_most_one_value_chosen", _agreement,
+    "At most one value can be chosen across all nodes (the original Paxos "
+    "safety property).")
+
+LOCAL_AGREEMENT = node_property(
+    "paxos.local_agreement", _local_agreement,
+    "A single learner never observes two different chosen values.")
+
+ACCEPTED_IMPLIES_PROMISED = node_property(
+    "paxos.accepted_implies_promised", _accepted_implies_promised,
+    "An acceptor's accepted round never exceeds its promised round.")
+
+ALL_PROPERTIES: list[SafetyProperty] = [
+    AT_MOST_ONE_VALUE_CHOSEN,
+    LOCAL_AGREEMENT,
+    ACCEPTED_IMPLIES_PROMISED,
+]

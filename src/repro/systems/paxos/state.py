@@ -1,0 +1,66 @@
+"""Paxos node state (Section 5.4.2).
+
+Every node plays all three roles (proposer, acceptor, learner), as in the
+paper's experiments.  Round numbers are ``(counter, host)`` pairs so they
+are totally ordered and unique per proposer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ...runtime.address import Address
+from ...runtime.state import NodeState
+
+Round = tuple[int, int]
+
+#: Sentinel for "no round yet"; smaller than every real round.
+NO_ROUND: Round = (0, 0)
+
+
+@dataclass
+class PaxosState(NodeState):
+    """Local state of one Paxos participant."""
+
+    addr: Address
+    peers: tuple[Address, ...] = ()
+
+    # -- proposer ---------------------------------------------------------------
+    #: client value this node wants to get chosen (None = no pending proposal).
+    pending_proposal: Optional[int] = None
+    round_counter: int = 0
+    current_round: Round = NO_ROUND
+    proposing: bool = False
+    accept_sent: bool = False
+    #: promises received for ``current_round``: peer -> (accepted_round, value).
+    promises: dict[Address, tuple[Round, Optional[int]]] = field(default_factory=dict)
+    #: accepted (round, value) carried by the most recent promise — the
+    #: quantity the buggy leader of ``bug1`` consults.
+    last_promise: tuple[Round, Optional[int]] = (NO_ROUND, None)
+
+    # -- acceptor ---------------------------------------------------------------
+    promised_round: Round = NO_ROUND
+    accepted_round: Round = NO_ROUND
+    accepted_value: Optional[int] = None
+    #: the promise as written to stable storage; with the paper's ``bug2``
+    #: this is never updated, so the promise does not survive a reset.
+    persisted_promised_round: Round = NO_ROUND
+
+    # -- learner ----------------------------------------------------------------
+    #: value -> set of acceptors from which a Learn was received.
+    learns: dict[int, set[Address]] = field(default_factory=dict)
+    #: every value this node has observed as chosen (must never exceed one).
+    chosen_values: set[int] = field(default_factory=set)
+
+    def majority(self) -> int:
+        return len(self.peers) // 2 + 1
+
+    def record_learn(self, value: int, acceptor: Address) -> bool:
+        """Record a Learn message; returns True when ``value`` becomes chosen."""
+        supporters = self.learns.setdefault(value, set())
+        supporters.add(acceptor)
+        if len(supporters) >= self.majority():
+            self.chosen_values.add(value)
+            return True
+        return False

@@ -1,0 +1,48 @@
+"""RandTree: a random, degree-constrained overlay tree (Section 1.2)."""
+
+from .protocol import (
+    JOIN,
+    JOIN_REPLY,
+    JOIN_TIMER,
+    NEW_ROOT,
+    PROBE,
+    PROBE_REPLY,
+    RECOVERY_TIMER,
+    UPDATE_SIBLING,
+    RandTree,
+    RandTreeConfig,
+)
+from .properties import (
+    ALL_PROPERTIES,
+    CHILDREN_SIBLINGS_DISJOINT,
+    NO_SELF_REFERENCE,
+    PARENT_NOT_CHILD,
+    RECOVERY_TIMER_RUNNING,
+    ROOT_HAS_NO_SIBLINGS,
+    ROOT_NOT_CHILD_OR_SIBLING,
+)
+from .scenarios import Figure2Scenario, Figure9Scenario
+from .state import RandTreeState
+
+__all__ = [
+    "JOIN",
+    "JOIN_REPLY",
+    "JOIN_TIMER",
+    "NEW_ROOT",
+    "PROBE",
+    "PROBE_REPLY",
+    "RECOVERY_TIMER",
+    "UPDATE_SIBLING",
+    "RandTree",
+    "RandTreeConfig",
+    "ALL_PROPERTIES",
+    "CHILDREN_SIBLINGS_DISJOINT",
+    "NO_SELF_REFERENCE",
+    "PARENT_NOT_CHILD",
+    "RECOVERY_TIMER_RUNNING",
+    "ROOT_HAS_NO_SIBLINGS",
+    "ROOT_NOT_CHILD_OR_SIBLING",
+    "Figure2Scenario",
+    "Figure9Scenario",
+    "RandTreeState",
+]

@@ -1,0 +1,100 @@
+"""Safety properties for RandTree (Sections 1.2 and 5.2.1)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ...mc.global_state import GlobalState
+from ...mc.properties import SafetyProperty, node_property
+from ...runtime.address import Address
+from .protocol import RECOVERY_TIMER
+from .state import RandTreeState
+
+
+def _children_siblings_disjoint(addr: Address, state: RandTreeState,
+                                timers: frozenset[str],
+                                gs: GlobalState) -> Iterable[str]:
+    overlap = set(state.children) & set(state.siblings)
+    if overlap:
+        yield (f"children and siblings are not disjoint: "
+               f"{sorted(str(a) for a in overlap)}")
+
+
+def _no_self_reference(addr: Address, state: RandTreeState,
+                       timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
+    if addr in state.children:
+        yield "node lists itself as a child"
+    if addr in state.siblings:
+        yield "node lists itself as a sibling"
+    if state.parent == addr:
+        yield "node is its own parent"
+
+
+def _parent_not_child(addr: Address, state: RandTreeState,
+                      timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
+    if state.parent is not None and state.parent in state.children:
+        yield f"parent {state.parent} also appears in the children list"
+
+
+def _root_not_child_or_sibling(addr: Address, state: RandTreeState,
+                               timers: frozenset[str],
+                               gs: GlobalState) -> Iterable[str]:
+    if not isinstance(state, RandTreeState) or not state.is_root():
+        return
+    for other_addr, other in gs.nodes.items():
+        if other_addr == addr or not isinstance(other.state, RandTreeState):
+            continue
+        if addr in other.state.children:
+            yield f"root {addr} appears as a child of {other_addr}"
+        if addr in other.state.siblings:
+            yield f"root {addr} appears as a sibling of {other_addr}"
+
+
+def _root_has_no_siblings(addr: Address, state: RandTreeState,
+                          timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
+    if state.is_root() and state.siblings:
+        yield (f"root keeps a non-empty sibling list: "
+               f"{sorted(str(a) for a in state.siblings)}")
+
+
+def _recovery_timer_running(addr: Address, state: RandTreeState,
+                            timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
+    if state.joined and state.peers and RECOVERY_TIMER not in timers:
+        yield "node is joined with a non-empty peer list but no recovery timer"
+
+
+CHILDREN_SIBLINGS_DISJOINT = node_property(
+    "randtree.children_siblings_disjoint", _children_siblings_disjoint,
+    "Children and sibling lists must be disjoint (Figure 2).")
+
+NO_SELF_REFERENCE = node_property(
+    "randtree.no_self_reference", _no_self_reference,
+    "A node never appears in its own children/sibling lists or as its own parent.")
+
+PARENT_NOT_CHILD = node_property(
+    "randtree.parent_not_child", _parent_not_child,
+    "The parent pointer never refers to one of the node's children.")
+
+ROOT_NOT_CHILD_OR_SIBLING = node_property(
+    "randtree.root_not_child_or_sibling", _root_not_child_or_sibling,
+    "A node that considers itself root must not appear as a child or sibling "
+    "of any other node (Figure 9).")
+
+ROOT_HAS_NO_SIBLINGS = node_property(
+    "randtree.root_has_no_siblings", _root_has_no_siblings,
+    "The root keeps no sibling pointers.")
+
+RECOVERY_TIMER_RUNNING = node_property(
+    "randtree.recovery_timer_running", _recovery_timer_running,
+    "The recovery timer must be scheduled whenever the node is joined and "
+    "has peers.")
+
+#: The property set installed in the CrystalBall experiments.
+ALL_PROPERTIES: list[SafetyProperty] = [
+    CHILDREN_SIBLINGS_DISJOINT,
+    NO_SELF_REFERENCE,
+    PARENT_NOT_CHILD,
+    ROOT_NOT_CHILD_OR_SIBLING,
+    ROOT_HAS_NO_SIBLINGS,
+    RECOVERY_TIMER_RUNNING,
+]

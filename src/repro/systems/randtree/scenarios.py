@@ -1,0 +1,132 @@
+"""Scripted RandTree scenarios from the paper.
+
+These helpers build the concrete system states used in Figures 2, 3 and 9 so
+that tests, examples and benchmarks can start from exactly the situations
+the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...mc.global_state import GlobalState, NodeLocal
+from ...runtime.address import Address
+from .protocol import RECOVERY_TIMER, RandTree, RandTreeConfig
+from .state import RandTreeState
+
+
+@dataclass
+class Figure2Scenario:
+    """The three-node state at the top of Figure 2.
+
+    ``n1`` is the root with ``n9`` as its only child; ``n13`` is the only
+    child of ``n9``.  A silent reset of ``n13`` followed by a re-join through
+    the root leads to ``n13`` appearing in both the children and the sibling
+    lists of ``n9``.
+    """
+
+    n1: Address
+    n9: Address
+    n13: Address
+    protocol: RandTree
+
+    @classmethod
+    def build(cls, *, fixed: bool = False) -> "Figure2Scenario":
+        n1, n9, n13 = Address(1), Address(9), Address(13)
+        config = RandTreeConfig(bootstrap=(n9,), max_children=2,
+                                fix_update_sibling=fixed,
+                                fix_new_root_check=fixed,
+                                fix_clear_siblings=fixed,
+                                fix_recovery_timer=fixed)
+        return cls(n1=n1, n9=n9, n13=n13, protocol=RandTree(config))
+
+    def node_states(self) -> dict[Address, RandTreeState]:
+        """The local states in the first row of Figure 2."""
+        s1 = self.protocol.initial_state(self.n1)
+        s1.joined = True
+        s1.root = self.n1
+        s1.children = {self.n9}
+        s1.refresh_peers()
+
+        s9 = self.protocol.initial_state(self.n9)
+        s9.joined = True
+        s9.root = self.n1
+        s9.parent = self.n1
+        s9.children = {self.n13}
+        s9.refresh_peers()
+
+        s13 = self.protocol.initial_state(self.n13)
+        s13.joined = True
+        s13.root = self.n1
+        s13.parent = self.n9
+        s13.refresh_peers()
+        return {self.n1: s1, self.n9: s9, self.n13: s13}
+
+    def global_state(self) -> GlobalState:
+        """Model-checking start state corresponding to the live snapshot."""
+        states = self.node_states()
+        timers = {addr: frozenset({RECOVERY_TIMER}) for addr in states}
+        return GlobalState.from_snapshot(states, timers=timers)
+
+
+@dataclass
+class Figure9Scenario:
+    """The five-node state preceding the "root appears as a child" bug.
+
+    Node 61 is the root with children 5, 65 and 69; node 9 is a child of 69.
+    Node 9 silently resets (its RST to 69 is lost) and re-joins through 61,
+    which hands over the root role; 69 still lists 9 as a child.
+    """
+
+    n5: Address
+    n9: Address
+    n61: Address
+    n65: Address
+    n69: Address
+    protocol: RandTree
+
+    @classmethod
+    def build(cls, *, fixed: bool = False) -> "Figure9Scenario":
+        n5, n9, n61, n65, n69 = (Address(5), Address(9), Address(61),
+                                 Address(65), Address(69))
+        config = RandTreeConfig(bootstrap=(n61,), max_children=3,
+                                fix_update_sibling=fixed,
+                                fix_new_root_check=fixed,
+                                fix_clear_siblings=fixed,
+                                fix_recovery_timer=fixed)
+        return cls(n5=n5, n9=n9, n61=n61, n65=n65, n69=n69,
+                   protocol=RandTree(config))
+
+    def node_states(self) -> dict[Address, RandTreeState]:
+        s61 = self.protocol.initial_state(self.n61)
+        s61.joined = True
+        s61.root = self.n61
+        s61.children = {self.n5, self.n65, self.n69}
+        s61.refresh_peers()
+
+        children_of_root = {self.n5, self.n65, self.n69}
+        states = {self.n61: s61}
+        for child in children_of_root:
+            s = self.protocol.initial_state(child)
+            s.joined = True
+            s.root = self.n61
+            s.parent = self.n61
+            s.siblings = children_of_root - {child}
+            s.refresh_peers()
+            states[child] = s
+
+        states[self.n69].children = {self.n9}
+        states[self.n69].refresh_peers()
+
+        s9 = self.protocol.initial_state(self.n9)
+        s9.joined = True
+        s9.root = self.n61
+        s9.parent = self.n69
+        s9.refresh_peers()
+        states[self.n9] = s9
+        return states
+
+    def global_state(self) -> GlobalState:
+        states = self.node_states()
+        timers = {addr: frozenset({RECOVERY_TIMER}) for addr in states}
+        return GlobalState.from_snapshot(states, timers=timers)

@@ -1,0 +1,57 @@
+"""RandTree node state.
+
+RandTree builds a random, degree-constrained overlay tree (Section 1.2):
+every node knows the root, its parent, its children and — for children of
+the root — its siblings.  The node with the numerically smallest address is
+the root.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ...runtime.address import Address
+from ...runtime.state import NodeState
+
+
+@dataclass
+class RandTreeState(NodeState):
+    """Local state of one RandTree participant."""
+
+    addr: Address
+    #: designated nodes a joining node may contact (bootstrap list).
+    bootstrap: tuple[Address, ...] = ()
+    max_children: int = 2
+
+    joined: bool = False
+    root: Optional[Address] = None
+    parent: Optional[Address] = None
+    children: set[Address] = field(default_factory=set)
+    siblings: set[Address] = field(default_factory=set)
+    #: peer list used by the recovery timer (root, parent, children, siblings).
+    peers: set[Address] = field(default_factory=set)
+
+    def is_root(self) -> bool:
+        """True when this node currently considers itself the tree root."""
+        return self.joined and self.root == self.addr
+
+    def refresh_peers(self) -> None:
+        """Recompute the peer list from the current topology pointers."""
+        peers = set(self.children) | set(self.siblings)
+        if self.parent is not None:
+            peers.add(self.parent)
+        if self.root is not None:
+            peers.add(self.root)
+        peers.discard(self.addr)
+        self.peers = peers
+
+    def forget(self, peer: Address) -> None:
+        """Remove every reference to ``peer`` (used on transport errors)."""
+        self.children.discard(peer)
+        self.siblings.discard(peer)
+        self.peers.discard(peer)
+        if self.parent == peer:
+            self.parent = None
+        if self.root == peer:
+            self.root = None

@@ -1,0 +1,32 @@
+"""Shared pytest fixtures for the CrystalBall reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mc import SearchBudget, TransitionConfig, TransitionSystem
+from repro.runtime import Address, make_addresses
+from repro.systems.randtree import Figure2Scenario, RandTree, RandTreeConfig
+
+
+@pytest.fixture
+def addresses():
+    return make_addresses(4, start=1)
+
+
+@pytest.fixture
+def figure2():
+    return Figure2Scenario.build()
+
+
+@pytest.fixture
+def figure2_system(figure2):
+    return TransitionSystem(
+        figure2.protocol,
+        TransitionConfig(enable_resets=True, max_resets_per_node=1),
+    )
+
+
+@pytest.fixture
+def small_budget():
+    return SearchBudget(max_states=2000, max_depth=8)

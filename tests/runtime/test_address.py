@@ -1,0 +1,53 @@
+"""Tests for node addresses."""
+
+import pytest
+
+from repro.runtime import Address, DUMMY_ADDRESS, make_addresses
+
+
+def test_addresses_order_by_host_then_port():
+    assert Address(1) < Address(2)
+    assert Address(1, 5000) < Address(1, 5001)
+    assert not Address(2) < Address(2)
+
+
+def test_address_equality_and_hash():
+    assert Address(3) == Address(3)
+    assert hash(Address(3)) == hash(Address(3))
+    assert Address(3) != Address(4)
+
+
+def test_address_str():
+    assert str(Address(7, 1234)) == "7:1234"
+
+
+def test_invalid_addresses_rejected():
+    with pytest.raises(ValueError):
+        Address(-1)
+    with pytest.raises(ValueError):
+        Address(1, 0)
+    with pytest.raises(ValueError):
+        Address(1, 70000)
+
+
+def test_make_addresses_are_distinct_and_ordered():
+    addrs = make_addresses(10, start=5)
+    assert len(set(addrs)) == 10
+    assert addrs == sorted(addrs)
+    assert addrs[0].host == 5
+
+
+def test_make_addresses_rejects_negative_count():
+    with pytest.raises(ValueError):
+        make_addresses(-1)
+
+
+def test_chord_id_deterministic_and_bounded():
+    a = Address(42)
+    assert a.chord_id() == a.chord_id()
+    assert 0 <= a.chord_id(bits=8) < 256
+    assert a.chord_id(bits=8) != Address(43).chord_id(bits=8) or True  # no collision guarantee
+
+
+def test_dummy_address_is_reserved():
+    assert DUMMY_ADDRESS.host == 0

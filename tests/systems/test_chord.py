@@ -1,0 +1,201 @@
+"""Unit tests for the Chord protocol handlers and properties."""
+
+from repro.mc import GlobalState, check_all
+from repro.runtime import Address, HandlerContext, Message
+from repro.systems.chord import (
+    ALL_PROPERTIES,
+    Chord,
+    ChordConfig,
+    FIND_PRED,
+    FIND_PRED_REPLY,
+    GET_PRED,
+    GET_PRED_REPLY,
+    ORDERING_CONSTRAINT,
+    PRED_SELF_IMPLIES_SUCC_SELF,
+    UPDATE_PRED,
+    in_interval,
+    ring_distance,
+)
+
+
+A, B, C, D = Address(10), Address(20), Address(30), Address(40)
+IDS = {A: 100, B: 200, C: 300, D: 500}
+
+
+def _protocol(**kwargs):
+    defaults = dict(bootstrap=(A,), id_map=dict(IDS))
+    defaults.update(kwargs)
+    return Chord(ChordConfig(**defaults))
+
+
+def _ctx(addr):
+    return HandlerContext(self_addr=addr)
+
+
+def test_ring_distance_and_interval_arithmetic():
+    assert ring_distance(10, 20) == 10
+    assert ring_distance(20, 10) == (1 << 16) - 10
+    assert in_interval(150, 100, 200)
+    assert not in_interval(100, 100, 200)
+    assert not in_interval(200, 100, 200)
+    assert in_interval(50, 60000, 100)  # wraps around the ring
+
+
+def test_first_node_forms_singleton_ring():
+    protocol = _protocol(bootstrap=())
+    state = protocol.initial_state(A)
+    protocol.handle_app(_ctx(A), state, "join", {})
+    assert state.joined
+    assert state.predecessor == A
+
+
+def test_join_sends_find_pred_to_bootstrap():
+    protocol = _protocol()
+    state = protocol.initial_state(C)
+    ctx = _ctx(C)
+    protocol.handle_app(ctx, state, "join", {})
+    assert any(m.mtype == FIND_PRED and m.dst == A for m in ctx.sent)
+
+
+def test_find_pred_replies_when_origin_is_between_node_and_successor():
+    protocol = _protocol()
+    state = protocol.initial_state(A)
+    state.joined = True
+    state.successors = [D]
+    state.remember(D, IDS[D])
+    ctx = _ctx(A)
+    protocol.handle_message(ctx, state, Message(
+        mtype=FIND_PRED, src=C, dst=A, payload={"origin": C, "origin_id": IDS[C]}))
+    replies = [m for m in ctx.sent if m.mtype == FIND_PRED_REPLY]
+    assert replies and replies[0].dst == C
+
+
+def test_find_pred_forwards_otherwise():
+    protocol = _protocol()
+    state = protocol.initial_state(A)
+    state.joined = True
+    state.successors = [B]
+    state.remember(B, IDS[B])
+    ctx = _ctx(A)
+    protocol.handle_message(ctx, state, Message(
+        mtype=FIND_PRED, src=D, dst=A, payload={"origin": D, "origin_id": IDS[D]}))
+    assert any(m.mtype == FIND_PRED and m.dst == B for m in ctx.sent)
+
+
+def test_find_pred_reply_stores_list_verbatim_and_notifies_successor():
+    protocol = _protocol()
+    state = protocol.initial_state(C)
+    ctx = _ctx(C)
+    protocol.handle_message(ctx, state, Message(
+        mtype=FIND_PRED_REPLY, src=A, dst=C,
+        payload={"successor_list": (C, D), "pred_id": IDS[A],
+                 "ids": {C: IDS[C], D: IDS[D]}}))
+    assert state.joined and state.predecessor == A
+    assert state.successors == [C, D]  # kept verbatim, including self
+    assert any(m.mtype == UPDATE_PRED and m.dst == C for m in ctx.sent)
+
+
+def test_update_pred_self_adoption_bug_and_fix():
+    protocol = _protocol()
+    state = protocol.initial_state(C)
+    state.joined = True
+    state.successors = [C, D]
+    state.remember(D, IDS[D])
+    protocol.handle_message(_ctx(C), state, Message(
+        mtype=UPDATE_PRED, src=C, dst=C, payload={"pred_id": IDS[C]}))
+    assert state.predecessor == C  # the bug
+    gs = GlobalState.from_snapshot({C: state})
+    assert not PRED_SELF_IMPLIES_SUCC_SELF.holds(gs)
+
+    fixed = _protocol(fix_pred_self=True)
+    state2 = fixed.initial_state(C)
+    state2.joined = True
+    state2.successors = [C, D]
+    state2.remember(D, IDS[D])
+    fixed.handle_message(_ctx(C), state2, Message(
+        mtype=UPDATE_PRED, src=C, dst=C, payload={"pred_id": IDS[C]}))
+    assert state2.predecessor is None
+
+
+def test_update_pred_accepts_closer_predecessor():
+    protocol = _protocol()
+    state = protocol.initial_state(C)
+    state.joined = True
+    state.predecessor = A
+    state.remember(A, IDS[A])
+    protocol.handle_message(_ctx(C), state, Message(
+        mtype=UPDATE_PRED, src=B, dst=C, payload={"pred_id": IDS[B]}))
+    assert state.predecessor == B
+
+
+def test_get_pred_reply_ordering_bug_and_fix():
+    protocol = _protocol()
+    # a_im1 (id 900) has predecessor and successor a_i (id 100).
+    a_i, a_im1, a_im2 = Address(1), Address(3), Address(5)
+    ids = {a_i: 100, a_im1: 900, a_im2: 800}
+    buggy = Chord(ChordConfig(bootstrap=(a_i,), id_map=ids))
+    state = buggy.initial_state(a_im1)
+    state.joined = True
+    state.predecessor = a_i
+    state.successors = [a_i]
+    for addr, node_id in ids.items():
+        state.remember(addr, node_id)
+    buggy.handle_message(_ctx(a_im1), state, Message(
+        mtype=GET_PRED_REPLY, src=a_i, dst=a_im1,
+        payload={"pred": a_im1, "pred_id": ids[a_im1],
+                 "successor_list": (a_im2,), "ids": {a_im2: ids[a_im2]}}))
+    assert a_im2 in state.successors
+    assert state.predecessor == a_i  # untouched: the bug
+    gs = GlobalState.from_snapshot({a_im1: state})
+    assert not ORDERING_CONSTRAINT.holds(gs)
+
+    fixed = Chord(ChordConfig(bootstrap=(a_i,), id_map=ids, fix_ordering=True))
+    state2 = fixed.initial_state(a_im1)
+    state2.joined = True
+    state2.predecessor = a_i
+    state2.successors = [a_i]
+    for addr, node_id in ids.items():
+        state2.remember(addr, node_id)
+    fixed.handle_message(_ctx(a_im1), state2, Message(
+        mtype=GET_PRED_REPLY, src=a_i, dst=a_im1,
+        payload={"pred": a_im2, "pred_id": ids[a_im2],
+                 "successor_list": (a_im2,), "ids": {a_im2: ids[a_im2]}}))
+    assert check_all([ORDERING_CONSTRAINT],
+                     GlobalState.from_snapshot({a_im1: state2})) == []
+
+
+def test_stabilize_queries_successor():
+    protocol = _protocol()
+    state = protocol.initial_state(A)
+    state.joined = True
+    state.successors = [C]
+    state.remember(C, IDS[C])
+    ctx = _ctx(A)
+    protocol.handle_timer(ctx, state, "stabilize")
+    assert any(m.mtype == GET_PRED and m.dst == C for m in ctx.sent)
+
+
+def test_connection_error_forgets_peer():
+    protocol = _protocol()
+    state = protocol.initial_state(C)
+    state.predecessor = A
+    state.successors = [A, D]
+    protocol.handle_connection_error(_ctx(C), state, A)
+    assert state.predecessor is None
+    assert A not in state.successors
+
+
+def test_clean_ring_satisfies_properties():
+    protocol = _protocol()
+    states = {}
+    ring = [(A, C), (C, D), (D, A)]
+    for node, succ in ring:
+        state = protocol.initial_state(node)
+        state.joined = True
+        state.successors = [succ]
+        state.predecessor = next(p for p, s in ring if s == node)
+        for addr, node_id in IDS.items():
+            state.remember(addr, node_id)
+        states[node] = state
+    gs = GlobalState.from_snapshot(states)
+    assert not check_all(ALL_PROPERTIES, gs)

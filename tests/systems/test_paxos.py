@@ -1,0 +1,142 @@
+"""Unit tests for Paxos handlers, the injected bugs, and agreement."""
+
+from repro.mc import GlobalState, check_all
+from repro.runtime import Address, HandlerContext, Message, ResetEvent
+from repro.systems.paxos import (
+    ACCEPT,
+    ALL_PROPERTIES,
+    AT_MOST_ONE_VALUE_CHOSEN,
+    LEARN,
+    NO_ROUND,
+    Paxos,
+    PaxosConfig,
+    PREPARE,
+    PROMISE,
+)
+
+A, B, C = Address(1), Address(2), Address(3)
+PEERS = (A, B, C)
+
+
+def _protocol(**kwargs):
+    return Paxos(PaxosConfig(peers=PEERS, **kwargs))
+
+
+def _ctx(addr):
+    return HandlerContext(self_addr=addr)
+
+
+def test_propose_broadcasts_prepare_to_all_peers():
+    protocol = _protocol()
+    state = protocol.initial_state(A)
+    ctx = _ctx(A)
+    protocol.handle_app(ctx, state, "propose", {"value": 0})
+    prepares = [m for m in ctx.sent if m.mtype == PREPARE]
+    assert {m.dst for m in prepares} == set(PEERS)
+    assert state.proposing and state.current_round > NO_ROUND
+
+
+def test_acceptor_promises_only_higher_rounds():
+    protocol = _protocol()
+    state = protocol.initial_state(B)
+    ctx = _ctx(B)
+    protocol.handle_message(ctx, state, Message(
+        mtype=PREPARE, src=A, dst=B, payload={"round": (1, 1)}))
+    assert state.promised_round == (1, 1)
+    assert any(m.mtype == PROMISE for m in ctx.sent)
+    ctx2 = _ctx(B)
+    protocol.handle_message(ctx2, state, Message(
+        mtype=PREPARE, src=C, dst=B, payload={"round": (1, 1)}))
+    assert not ctx2.sent  # not strictly higher
+
+
+def test_correct_leader_adopts_highest_round_value():
+    protocol = _protocol()
+    state = protocol.initial_state(A)
+    protocol.handle_app(_ctx(A), state, "propose", {"value": 7})
+    ctx = _ctx(A)
+    protocol.handle_message(ctx, state, Message(
+        mtype=PROMISE, src=B, dst=A,
+        payload={"round": state.current_round, "accepted_round": (1, 2),
+                 "accepted_value": 42}))
+    protocol.handle_message(ctx, state, Message(
+        mtype=PROMISE, src=C, dst=A,
+        payload={"round": state.current_round, "accepted_round": NO_ROUND,
+                 "accepted_value": None}))
+    accepts = [m for m in ctx.sent if m.mtype == ACCEPT]
+    assert accepts and all(m.get("value") == 42 for m in accepts)
+
+
+def test_bug1_leader_uses_last_promise():
+    protocol = _protocol(inject_bug1=True)
+    state = protocol.initial_state(A)
+    protocol.handle_app(_ctx(A), state, "propose", {"value": 7})
+    ctx = _ctx(A)
+    protocol.handle_message(ctx, state, Message(
+        mtype=PROMISE, src=B, dst=A,
+        payload={"round": state.current_round, "accepted_round": (1, 2),
+                 "accepted_value": 42}))
+    protocol.handle_message(ctx, state, Message(
+        mtype=PROMISE, src=C, dst=A,
+        payload={"round": state.current_round, "accepted_round": NO_ROUND,
+                 "accepted_value": None}))
+    accepts = [m for m in ctx.sent if m.mtype == ACCEPT]
+    # The buggy leader ignores the accepted value 42 and proposes its own 7.
+    assert accepts and all(m.get("value") == 7 for m in accepts)
+
+
+def test_acceptor_accepts_and_broadcasts_learn():
+    protocol = _protocol()
+    state = protocol.initial_state(B)
+    ctx = _ctx(B)
+    protocol.handle_message(ctx, state, Message(
+        mtype=ACCEPT, src=A, dst=B, payload={"round": (1, 1), "value": 5}))
+    assert state.accepted_value == 5
+    learns = [m for m in ctx.sent if m.mtype == LEARN]
+    assert {m.dst for m in learns} == set(PEERS)
+
+
+def test_learner_chooses_on_majority():
+    protocol = _protocol()
+    state = protocol.initial_state(C)
+    protocol.handle_message(_ctx(C), state, Message(
+        mtype=LEARN, src=A, dst=C, payload={"round": (1, 1), "value": 5}))
+    assert not state.chosen_values
+    protocol.handle_message(_ctx(C), state, Message(
+        mtype=LEARN, src=B, dst=C, payload={"round": (1, 1), "value": 5}))
+    assert state.chosen_values == {5}
+
+
+def test_reset_persists_promise_without_bug2_and_loses_it_with_bug2():
+    for inject, expected_round in [(False, (3, 1)), (True, NO_ROUND)]:
+        protocol = _protocol(inject_bug2=inject)
+        state = protocol.initial_state(B)
+        protocol.handle_message(_ctx(B), state, Message(
+            mtype=PREPARE, src=A, dst=B, payload={"round": (3, 1)}))
+        fresh = protocol.execute(_ctx(B), state, ResetEvent(node=B))
+        assert fresh.promised_round == expected_round
+
+
+def test_agreement_property_detects_two_chosen_values():
+    protocol = _protocol()
+    sa = protocol.initial_state(A)
+    sa.chosen_values = {0}
+    sb = protocol.initial_state(B)
+    sb.chosen_values = {1}
+    gs = GlobalState.from_snapshot({A: sa, B: sb})
+    assert not AT_MOST_ONE_VALUE_CHOSEN.holds(gs)
+    sb.chosen_values = {0}
+    assert AT_MOST_ONE_VALUE_CHOSEN.holds(GlobalState.from_snapshot({A: sa, B: sb}))
+
+
+def test_all_properties_hold_on_agreeing_system():
+    protocol = _protocol()
+    states = {}
+    for addr in PEERS:
+        state = protocol.initial_state(addr)
+        state.chosen_values = {0}
+        state.accepted_value = 0
+        state.accepted_round = (1, 1)
+        state.promised_round = (1, 1)
+        states[addr] = state
+    assert not check_all(ALL_PROPERTIES, GlobalState.from_snapshot(states))
