@@ -1,0 +1,5 @@
+"""Benchmark harness regenerating the paper's tables and figures.
+
+A package (not just a directory) so that ``pytest benchmarks/bench_X.py``
+can resolve the ``from .conftest import ...`` helpers.
+"""

@@ -1,0 +1,113 @@
+"""Parallel engine speedup: sharded-frontier search vs the serial baseline.
+
+Runs the same RandTree join search (the Figure 12 workload, with silent
+resets enabled so the space exceeds 20k states at depth 7) through the
+serial engine and through the sharded-frontier parallel engine with 2 and 4
+workers, checks result equivalence, and records the wall-clock speedups in
+``BENCH_parallel_speedup.json`` at the repository root so the performance
+trajectory of the engine is tracked from its first PR.
+
+On machines with at least 4 cores the 4-worker run must beat serial by more
+than 1.3x; on smaller machines (e.g. single-core CI runners) the numbers
+are recorded but the speedup is not asserted — parallel search cannot beat
+serial without cores to run on.
+
+Environment knobs: ``CB_SPEEDUP_DEPTH`` (default 7) bounds the search depth;
+depth 7 visits ~48k states and takes a few minutes end to end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.mc import (
+    GlobalState,
+    ParallelEngine,
+    SearchBudget,
+    SearchKind,
+    SerialEngine,
+    TransitionConfig,
+    TransitionSystem,
+)
+from repro.runtime import make_addresses
+from repro.systems import randtree
+
+DEPTH = int(os.environ.get("CB_SPEEDUP_DEPTH", "7"))
+WORKER_COUNTS = (2, 4)
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel_speedup.json"
+
+
+def _workload():
+    addrs = make_addresses(5)
+    protocol = randtree.RandTree(randtree.RandTreeConfig(bootstrap=(addrs[0],)))
+    states = {a: protocol.initial_state(a) for a in addrs}
+    timers = {a: [randtree.JOIN_TIMER] for a in addrs}
+    start = GlobalState.from_snapshot(states, timers=timers)
+    system = TransitionSystem(
+        protocol, TransitionConfig(enable_resets=True, max_resets_per_node=1))
+    return system, start
+
+
+def _violation_keys(result):
+    return sorted({(v.violation.property_name, str(v.violation.node))
+                   for v in result.violations})
+
+
+def _sweep():
+    system, start = _workload()
+    budget = SearchBudget(max_states=None, max_depth=DEPTH)
+    rows = []
+    serial = SerialEngine().run(system, start, randtree.ALL_PROPERTIES, budget,
+                                kind=SearchKind.EXHAUSTIVE)
+    rows.append(("serial", 1, serial))
+    for workers in WORKER_COUNTS:
+        engine = ParallelEngine(num_workers=workers)
+        result = engine.run(system, start, randtree.ALL_PROPERTIES, budget,
+                            kind=SearchKind.EXHAUSTIVE)
+        rows.append((f"parallel:{workers}", workers, result))
+    return rows
+
+
+@pytest.mark.benchmark(group="parallel_speedup")
+def test_parallel_speedup(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    serial = rows[0][2]
+    cpu_count = os.cpu_count() or 1
+
+    print(f"\nParallel speedup — RandTree join search, depth {DEPTH}, "
+          f"{serial.stats.states_visited} states, {cpu_count} CPU(s)")
+    print(f"{'engine':>12} {'workers':>7} {'states':>8} {'seconds':>9} {'speedup':>8}")
+    record = {
+        "scenario": "randtree-join-5nodes-resets",
+        "max_depth": DEPTH,
+        "cpu_count": cpu_count,
+        "engines": [],
+    }
+    for name, workers, result in rows:
+        speedup = serial.stats.elapsed_seconds / max(result.stats.elapsed_seconds,
+                                                     1e-9)
+        print(f"{name:>12} {workers:>7} {result.stats.states_visited:>8} "
+              f"{result.stats.elapsed_seconds:>9.2f} {speedup:>7.2f}x")
+        record["engines"].append({
+            "engine": name,
+            "workers": workers,
+            "states_visited": result.stats.states_visited,
+            "elapsed_seconds": round(result.stats.elapsed_seconds, 3),
+            "speedup_vs_serial": round(speedup, 3),
+        })
+        # Every engine must explore the same space and find the same bugs.
+        assert result.stats.states_visited == serial.stats.states_visited
+        assert _violation_keys(result) == _violation_keys(serial)
+
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    benchmark.extra_info.update(record)
+
+    assert serial.stats.states_visited >= 20_000, \
+        "workload too small to be a meaningful speedup benchmark"
+    if cpu_count >= 4:
+        four_worker = next(e for e in record["engines"] if e["workers"] == 4)
+        assert four_worker["speedup_vs_serial"] > 1.3

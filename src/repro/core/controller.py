@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..mc.global_state import GlobalState
+from ..mc.parallel import SearchKind, make_engine, run_portfolio
 from ..mc.properties import SafetyProperty
 from ..mc.search import PredictedViolation, SearchBudget, SearchResult
 from ..mc.transition import TransitionConfig, TransitionSystem
@@ -32,7 +33,6 @@ from ..runtime.messages import Message, Transport
 from ..runtime.protocol import Protocol
 from ..runtime.simulator import FilterAction, SimNode, Simulator
 from .checkpoint import Checkpoint, CheckpointStore, PeerTransferCache
-from .consequence import consequence_prediction
 from .event_filter import EventFilter
 from .immediate import ImmediateSafetyCheck
 from .replay import replay_error_path
@@ -71,6 +71,18 @@ class CrystalBallConfig:
         default_factory=lambda: SearchBudget(max_states=300, max_depth=6,
                                              stop_at_first_violation=True))
     transition: TransitionConfig = field(default_factory=TransitionConfig)
+    #: Search engine executing consequence prediction: ``"serial"`` (the
+    #: default, inline single-threaded search), ``"parallel"`` (sharded
+    #: frontier over one worker per CPU) or ``"parallel:N"``.  An already
+    #: built :class:`~repro.mc.parallel.SearchEngine` is also accepted.
+    engine: str = "serial"
+    #: Race exhaustive search, consequence prediction and random walks from
+    #: every snapshot instead of running consequence prediction alone.
+    portfolio_mode: bool = False
+    #: Number of seeded random walks in a portfolio run.
+    portfolio_walks: int = 2
+    #: Shared wall-clock deadline for one portfolio run (seconds).
+    portfolio_wall_clock: Optional[float] = 5.0
     checkpoint_quota: int = 16
     #: Outbound bandwidth limit for checkpoint traffic, bytes per tick
     #: (None = unlimited; Section 3.1 "Managing Bandwidth Consumption").
@@ -131,6 +143,7 @@ class CrystalBallController:
         self.config = config or CrystalBallConfig()
 
         self.system = TransitionSystem(protocol, self.config.transition)
+        self.engine = make_engine(self.config.engine)
         self.store = CheckpointStore(quota=self.config.checkpoint_quota)
         self.transfer_cache = PeerTransferCache()
         self.isc = ImmediateSafetyCheck(self.system, self.properties)
@@ -329,8 +342,17 @@ class CrystalBallController:
                                        depth=replay.steps_executed,
                                        state_hash=replay.final_state.state_hash()))
 
-        result = consequence_prediction(self.system, start_state, self.properties,
-                                        self.config.search_budget)
+        if self.config.portfolio_mode:
+            portfolio = run_portfolio(
+                self.system, start_state, self.properties,
+                self.config.search_budget,
+                wall_clock_seconds=self.config.portfolio_wall_clock,
+                walks=self.config.portfolio_walks)
+            result = portfolio.merged_result(start_state)
+        else:
+            result = self.engine.run(self.system, start_state, self.properties,
+                                     self.config.search_budget,
+                                     kind=SearchKind.CONSEQUENCE)
         self.last_result = result
 
         # Violations with an empty path are already present in the snapshot

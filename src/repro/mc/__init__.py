@@ -12,6 +12,15 @@ from .search import PredictedViolation, SearchBudget, SearchResult, SearchStats
 from .transition import TransitionConfig, TransitionSystem
 from .exhaustive import find_errors
 from .random_walk import random_walk_search
+from .parallel import (
+    ParallelEngine,
+    PortfolioResult,
+    SearchEngine,
+    SearchKind,
+    SerialEngine,
+    make_engine,
+    run_portfolio,
+)
 
 __all__ = [
     "ErrorNotification",
@@ -29,4 +38,11 @@ __all__ = [
     "TransitionSystem",
     "find_errors",
     "random_walk_search",
+    "ParallelEngine",
+    "PortfolioResult",
+    "SearchEngine",
+    "SearchKind",
+    "SerialEngine",
+    "make_engine",
+    "run_portfolio",
 ]

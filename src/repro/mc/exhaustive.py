@@ -48,19 +48,25 @@ def find_errors(
     reported: set[tuple] = set()
 
     explored: set[int] = set()
+    # Hashes of states already sitting in the frontier: successors reachable
+    # from several parents in one wave are enqueued only once.
+    queued: set[int] = set()
     frontier: deque[tuple[GlobalState, int, tuple]] = deque()
     frontier.append((first_state, 0, ()))
-    frontier_bytes = first_state.size_bytes()
-    stats.peak_memory_bytes = frontier_bytes
+    queued.add(first_state.state_hash())
+    stats.frontier_bytes = first_state.size_bytes()
+    stats.peak_memory_bytes = stats.frontier_bytes
 
     while frontier and not budget.exhausted(stats):
         state, depth, path = frontier.popleft()
-        frontier_bytes -= state.size_bytes()
+        stats.frontier_bytes -= state.size_bytes()
         state_hash = state.state_hash()
         if state_hash in explored:
             stats.duplicate_states += 1
             continue
         explored.add(state_hash)
+        if budget.record_visited_hashes:
+            stats.note_visited_hash(state_hash)
         stats.explored_hash_bytes = 8 * len(explored)
         stats.record_visit(depth)
 
@@ -83,14 +89,15 @@ def find_errors(
             next_state = system.apply(state, event)
             stats.transitions_applied += 1
             next_hash = next_state.state_hash()
-            if next_hash in explored:
+            if next_hash in explored or next_hash in queued:
                 stats.duplicate_states += 1
                 continue
+            queued.add(next_hash)
             frontier.append((next_state, depth + 1, path + (event,)))
             stats.states_enqueued += 1
-            frontier_bytes += next_state.size_bytes()
+            stats.frontier_bytes += next_state.size_bytes()
             stats.peak_memory_bytes = max(stats.peak_memory_bytes,
-                                          frontier_bytes + stats.explored_hash_bytes)
+                                          stats.frontier_bytes + stats.explored_hash_bytes)
 
     stats.touch_clock()
     return SearchResult(violations=violations, stats=stats, start_state=first_state)

@@ -1,0 +1,110 @@
+"""Search-engine abstraction: one interface over serial and parallel search.
+
+CrystalBall runs the same breadth-first exploration in three places — the
+exhaustive baseline of Figure 5, consequence prediction of Figure 8, and the
+filter-safety re-checks — but the seed implementation hard-wired each caller
+to a single-threaded function.  :class:`SearchEngine` decouples *what* is
+searched (a :class:`~repro.mc.transition.TransitionSystem`, a start state,
+properties, a budget) from *how* it is executed, so the controller, the
+benchmarks and the examples can switch between
+:class:`SerialEngine` and :class:`~repro.mc.parallel.sharded.ParallelEngine`
+via configuration without any behaviour change by default.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional, Protocol, Sequence, Union, runtime_checkable
+
+from ..global_state import GlobalState
+from ..properties import SafetyProperty
+from ..search import SearchBudget, SearchResult
+from ..transition import TransitionSystem
+
+
+class SearchKind(enum.Enum):
+    """Which successor-enumeration rule a search run uses."""
+
+    #: Figure 5: expand every enabled event of every visited state.
+    EXHAUSTIVE = "exhaustive"
+    #: Figure 8: expand internal actions only for unseen node-local states.
+    CONSEQUENCE = "consequence"
+
+
+@runtime_checkable
+class SearchEngine(Protocol):
+    """Anything that can execute a state-space search to completion."""
+
+    def run(
+        self,
+        system: TransitionSystem,
+        first_state: GlobalState,
+        properties: Sequence[SafetyProperty],
+        budget: Optional[SearchBudget] = None,
+        *,
+        kind: SearchKind = SearchKind.EXHAUSTIVE,
+        event_filter: Optional[Callable] = None,
+    ) -> SearchResult:
+        ...  # pragma: no cover - protocol signature
+
+
+class SerialEngine:
+    """The seed behaviour: run the search inline on the calling thread."""
+
+    def run(
+        self,
+        system: TransitionSystem,
+        first_state: GlobalState,
+        properties: Sequence[SafetyProperty],
+        budget: Optional[SearchBudget] = None,
+        *,
+        kind: SearchKind = SearchKind.EXHAUSTIVE,
+        event_filter: Optional[Callable] = None,
+    ) -> SearchResult:
+        if kind is SearchKind.CONSEQUENCE:
+            # Imported lazily: repro.core is built on repro.mc, so a
+            # module-level import here would be circular.
+            from ...core.consequence import consequence_prediction
+
+            return consequence_prediction(system, first_state, properties, budget,
+                                          event_filter=event_filter)
+        from ..exhaustive import find_errors
+
+        if event_filter is not None:
+            raise ValueError("event filters only apply to consequence prediction")
+        return find_errors(system, first_state, properties, budget)
+
+    def __repr__(self) -> str:
+        return "SerialEngine()"
+
+
+def make_engine(spec: Union[str, SearchEngine, None]) -> SearchEngine:
+    """Build a search engine from a config spec.
+
+    Accepted specs: ``"serial"`` (or ``None``), ``"parallel"`` (one worker
+    per CPU), ``"parallel:N"`` (exactly ``N`` workers), or an already-built
+    :class:`SearchEngine`, which is returned unchanged.
+    """
+    if spec is None:
+        return SerialEngine()
+    if isinstance(spec, str):
+        name, _, arg = spec.partition(":")
+        name = name.strip().lower()
+        if name == "serial":
+            return SerialEngine()
+        if name == "parallel":
+            from .sharded import ParallelEngine
+
+            workers = None
+            if arg:
+                try:
+                    workers = int(arg)
+                except ValueError:
+                    raise ValueError(
+                        f"bad worker count in engine spec {spec!r}; "
+                        f"expected 'parallel' or 'parallel:<N>'") from None
+            return ParallelEngine(num_workers=workers)
+        raise ValueError(f"unknown engine spec {spec!r}")
+    if isinstance(spec, SearchEngine):
+        return spec
+    raise TypeError(f"cannot build a search engine from {spec!r}")

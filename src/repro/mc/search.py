@@ -30,12 +30,21 @@ class SearchBudget:
     max_states: Optional[int] = 20000
     max_depth: Optional[int] = None
     max_seconds: Optional[float] = None
+    #: Upper bound on the bytes held by queued frontier states; long-running
+    #: searches stop rather than exhaust memory once the frontier exceeds it.
+    max_frontier_bytes: Optional[int] = None
     stop_at_first_violation: bool = False
+    #: Record every visited state hash in ``stats.visited_hashes`` — used by
+    #: engine-equivalence checks; off by default to keep memory flat.
+    record_visited_hashes: bool = False
 
     def exhausted(self, stats: "SearchStats") -> bool:
         if self.max_states is not None and stats.states_visited >= self.max_states:
             return True
         if self.max_seconds is not None and stats.elapsed_seconds >= self.max_seconds:
+            return True
+        if (self.max_frontier_bytes is not None
+                and stats.frontier_bytes >= self.max_frontier_bytes):
             return True
         return False
 
@@ -58,8 +67,19 @@ class SearchStats:
     #: states, it only stores their hashes", Section 5.5).
     peak_memory_bytes: int = 0
     explored_hash_bytes: int = 0
+    #: bytes currently held by queued frontier states (kept up to date by the
+    #: searches so ``SearchBudget.max_frontier_bytes`` can bound it).
+    frontier_bytes: int = 0
     internal_actions_skipped: int = 0
     states_by_depth: dict[int, int] = field(default_factory=dict)
+    #: hashes of every visited state, populated only when the budget sets
+    #: ``record_visited_hashes``.
+    visited_hashes: Optional[set[int]] = None
+
+    def note_visited_hash(self, state_hash: int) -> None:
+        if self.visited_hashes is None:
+            self.visited_hashes = set()
+        self.visited_hashes.add(state_hash)
 
     _started_at: float = field(default_factory=time.monotonic, repr=False)
 

@@ -1,0 +1,230 @@
+"""Parallel engine: serial/parallel equivalence, portfolio mode, budgets."""
+
+import pytest
+
+from repro.core import CrystalBallConfig, CrystalBallController
+from repro.mc import (
+    GlobalState,
+    ParallelEngine,
+    SearchBudget,
+    SearchKind,
+    SerialEngine,
+    TransitionConfig,
+    TransitionSystem,
+    find_errors,
+    make_engine,
+    run_portfolio,
+)
+from repro.runtime import Address
+from repro.systems import bulletprime, chord, paxos, randtree
+from repro.systems.bulletprime.protocol import DIFF_TIMER, REQUEST_TIMER
+
+
+def _randtree_case():
+    scenario = randtree.Figure2Scenario.build()
+    system = TransitionSystem(
+        scenario.protocol,
+        TransitionConfig(enable_resets=True, max_resets_per_node=1))
+    return system, scenario.global_state(), randtree.ALL_PROPERTIES, 4
+
+
+def _chord_case():
+    scenario = chord.Figure10Scenario.build()
+    system = TransitionSystem(
+        scenario.protocol,
+        TransitionConfig(enable_resets=True, max_resets_per_node=1))
+    return system, scenario.global_state(), chord.ALL_PROPERTIES, 3
+
+
+def _paxos_case():
+    scenario = paxos.Figure13Scenario(bug=1)
+    protocol = scenario.build_protocol()
+    a, b, c = scenario.addresses
+    states = {addr: protocol.initial_state(addr) for addr in (a, b, c)}
+    states[a].pending_proposal = 0
+    states[b].pending_proposal = 1
+    system = TransitionSystem(protocol, TransitionConfig(enable_resets=False))
+    return system, GlobalState.from_snapshot(states), paxos.ALL_PROPERTIES, 4
+
+
+def _bulletprime_case():
+    src, rcv = Address(1), Address(2)
+    protocol = bulletprime.BulletPrime(bulletprime.BulletConfig(
+        source=src, mesh={src: (rcv,), rcv: (src,)}, block_count=2,
+        fix_shadow_map=False))
+    states = {addr: protocol.initial_state(addr) for addr in (src, rcv)}
+    timers = {src: [DIFF_TIMER], rcv: [REQUEST_TIMER]}
+    system = TransitionSystem(protocol, TransitionConfig(enable_resets=False))
+    return system, GlobalState.from_snapshot(states, timers=timers), \
+        bulletprime.ALL_PROPERTIES, 4
+
+
+CASES = {
+    "randtree": _randtree_case,
+    "chord": _chord_case,
+    "paxos": _paxos_case,
+    "bulletprime": _bulletprime_case,
+}
+
+
+def _violation_keys(result):
+    return {(v.violation.property_name, v.violation.node)
+            for v in result.violations}
+
+
+@pytest.mark.parametrize("case", sorted(CASES), ids=sorted(CASES))
+def test_parallel_engine_equivalent_to_serial(case):
+    """Same violations, same visited state-hash set, same depth histogram."""
+    system, start, properties, depth = CASES[case]()
+    budget = SearchBudget(max_states=None, max_depth=depth,
+                          record_visited_hashes=True)
+
+    serial = SerialEngine().run(system, start, properties, budget,
+                                kind=SearchKind.EXHAUSTIVE)
+    parallel = ParallelEngine(num_workers=2).run(
+        system, start, properties, budget, kind=SearchKind.EXHAUSTIVE)
+
+    assert _violation_keys(parallel) == _violation_keys(serial)
+    assert parallel.stats.visited_hashes == serial.stats.visited_hashes
+    assert parallel.stats.states_visited == serial.stats.states_visited
+    assert parallel.stats.states_by_depth == serial.stats.states_by_depth
+    # Breadth-first level synchronisation keeps reported depths minimal.
+    assert ({(v.violation.property_name, v.violation.node, v.depth)
+             for v in parallel.violations}
+            == {(v.violation.property_name, v.violation.node, v.depth)
+                for v in serial.violations})
+
+
+def test_parallel_consequence_prediction_covers_serial():
+    """Parallel Figure 8 merges localExplored at round boundaries, so it
+    explores a superset of the serial pruning — never less."""
+    system, start, properties, _ = _randtree_case()
+    budget = SearchBudget(max_states=None, max_depth=5,
+                          record_visited_hashes=True)
+    serial = SerialEngine().run(system, start, properties, budget,
+                                kind=SearchKind.CONSEQUENCE)
+    parallel = ParallelEngine(num_workers=2).run(
+        system, start, properties, budget, kind=SearchKind.CONSEQUENCE)
+    assert _violation_keys(serial) <= _violation_keys(parallel)
+    assert serial.stats.visited_hashes <= parallel.stats.visited_hashes
+
+
+def test_parallel_respects_max_states_budget():
+    system, start, properties, _ = _randtree_case()
+    result = ParallelEngine(num_workers=2).run(
+        system, start, properties, SearchBudget(max_states=100, max_depth=None))
+    assert result.stats.states_visited <= 100
+
+
+def test_parallel_stop_at_first_violation():
+    system, start, properties, _ = _randtree_case()
+    full = ParallelEngine(num_workers=2).run(
+        system, start, properties, SearchBudget(max_states=None, max_depth=4))
+    early = ParallelEngine(num_workers=2).run(
+        system, start, properties,
+        SearchBudget(max_states=None, max_depth=4,
+                     stop_at_first_violation=True))
+    assert early.found_violation
+    assert early.stats.states_visited < full.stats.states_visited
+
+
+def test_queued_hash_set_prevents_duplicate_enqueues():
+    """Satellite fix: in a completed search every enqueued state is visited
+    exactly once — re-enqueues from different parents are counted as
+    duplicates instead of growing the frontier."""
+    system, start, properties, _ = _randtree_case()
+    result = find_errors(system, start, properties,
+                         SearchBudget(max_states=None, max_depth=4))
+    assert result.stats.states_visited == result.stats.states_enqueued + 1
+    assert result.stats.duplicate_states > 0
+    assert result.stats.frontier_bytes == 0
+
+
+def test_max_frontier_bytes_bounds_the_search():
+    system, start, properties, _ = _randtree_case()
+    unbounded = find_errors(system, start, properties,
+                            SearchBudget(max_states=None, max_depth=4))
+    bounded = find_errors(system, start, properties,
+                          SearchBudget(max_states=None, max_depth=4,
+                                       max_frontier_bytes=10_000))
+    assert bounded.stats.states_visited < unbounded.stats.states_visited
+
+
+def test_make_engine_specs():
+    assert isinstance(make_engine(None), SerialEngine)
+    assert isinstance(make_engine("serial"), SerialEngine)
+    assert isinstance(make_engine("parallel"), ParallelEngine)
+    engine = make_engine("parallel:3")
+    assert isinstance(engine, ParallelEngine) and engine.num_workers == 3
+    assert make_engine(engine) is engine
+    with pytest.raises(ValueError):
+        make_engine("quantum")
+    with pytest.raises(ValueError):
+        make_engine("parallel:abc")
+    with pytest.raises(ValueError):
+        make_engine("parallel:0")
+
+
+def test_controller_selects_engine_from_config():
+    scenario = randtree.Figure2Scenario.build()
+    config = CrystalBallConfig(engine="parallel:2")
+    controller = CrystalBallController(Address(9), scenario.protocol,
+                                       randtree.ALL_PROPERTIES, config)
+    assert isinstance(controller.engine, ParallelEngine)
+    assert controller.engine.num_workers == 2
+    default = CrystalBallController(Address(9), scenario.protocol,
+                                    randtree.ALL_PROPERTIES)
+    assert isinstance(default.engine, SerialEngine)
+
+
+def test_portfolio_finds_the_figure2_violation():
+    system, start, properties, _ = _randtree_case()
+    outcome = run_portfolio(system, start, properties,
+                            SearchBudget(max_states=2000, max_depth=8),
+                            wall_clock_seconds=60.0, walks=2)
+    assert outcome.found_violation
+    assert outcome.winner is not None
+    names = {v.violation.property_name for v in outcome.union_violations()}
+    assert "randtree.children_siblings_disjoint" in names
+    merged = outcome.merged_result(start)
+    assert merged.found_violation
+    # One violation per (property, node) in the union.
+    keys = [(v.violation.property_name, v.violation.node)
+            for v in outcome.union_violations()]
+    assert len(keys) == len(set(keys))
+
+
+def test_parallel_rejects_event_filter_outside_consequence():
+    system, start, properties, _ = _randtree_case()
+    with pytest.raises(ValueError):
+        ParallelEngine(num_workers=2).run(
+            system, start, properties, SearchBudget(max_states=10),
+            kind=SearchKind.EXHAUSTIVE, event_filter=lambda event: None)
+
+
+def test_portfolio_reports_crashing_strategies():
+    system, start, properties, _ = _randtree_case()
+
+    def boom():
+        raise RuntimeError("strategy exploded")
+
+    outcome = run_portfolio(
+        system, start, properties, wall_clock_seconds=30.0,
+        strategies=[("boom", boom),
+                    ("ok", lambda: find_errors(
+                        system, start, properties,
+                        SearchBudget(max_states=50, max_depth=3)))])
+    assert "boom" in outcome.errors
+    assert "strategy exploded" in outcome.errors["boom"]
+    assert "ok" in outcome.results
+    assert "boom" not in outcome.unfinished
+
+
+def test_portfolio_first_violation_wins_returns_early():
+    system, start, properties, _ = _randtree_case()
+    outcome = run_portfolio(system, start, properties,
+                            SearchBudget(max_states=4000, max_depth=8),
+                            wall_clock_seconds=60.0, walks=1,
+                            first_violation_wins=True)
+    assert outcome.winner is not None
+    assert outcome.results[outcome.winner].found_violation
