@@ -12,8 +12,8 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import Experiment
 from repro.core import Mode
-from repro.systems.paxos import Figure13Scenario
 
 RUNS_PER_BUG = 2
 DELAYS = [10.0, 20.0]
@@ -21,17 +21,27 @@ PAPER = {1: {"steering": 0.87, "isc": 0.11, "violations": 0.02},
          2: {"steering": 0.85, "isc": 0.11, "violations": 0.05}}
 
 
+def _run_scenario(bug: int, mode: Mode, *, delay: float, seed: int):
+    return (Experiment("paxos")
+            .scenario(f"figure13-bug{bug}")
+            .mode(mode)
+            .seed(seed)
+            .options(inter_round_delay=delay)
+            .run())
+
+
 def _run_bug(bug: int):
     outcomes = {"steering": 0, "isc": 0, "violations": 0}
     for index in range(RUNS_PER_BUG):
-        result = Figure13Scenario(bug=bug, inter_round_delay=DELAYS[index % len(DELAYS)],
-                                  crystalball_mode=Mode.STEERING,
-                                  seed=100 + index).run()
-        if result.violation_occurred:
+        report = _run_scenario(bug, Mode.STEERING,
+                               delay=DELAYS[index % len(DELAYS)],
+                               seed=100 + index)
+        outcome = report.outcome
+        if outcome["violation_occurred"]:
             outcomes["violations"] += 1
-        elif result.avoided_by_steering:
+        elif outcome["avoided_by_steering"]:
             outcomes["steering"] += 1
-        elif result.avoided_by_isc:
+        elif outcome["avoided_by_isc"]:
             outcomes["isc"] += 1
         else:
             outcomes["steering"] += 1  # avoided before any filter had to fire
@@ -41,9 +51,9 @@ def _run_bug(bug: int):
 @pytest.mark.benchmark(group="fig14")
 @pytest.mark.parametrize("bug", [1, 2])
 def test_fig14_paxos_execution_steering(benchmark, bug):
-    baseline = Figure13Scenario(bug=bug, inter_round_delay=14.0,
-                                crystalball_mode=Mode.OFF, seed=7).run()
-    assert baseline.violation_occurred, "the injected bug must manifest without CrystalBall"
+    baseline = _run_scenario(bug, Mode.OFF, delay=14.0, seed=7)
+    assert baseline.outcome["violation_occurred"], \
+        "the injected bug must manifest without CrystalBall"
 
     outcomes = benchmark.pedantic(lambda: _run_bug(bug), rounds=1, iterations=1)
     total = sum(outcomes.values())

@@ -12,37 +12,28 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core import CrystalBallConfig, Mode
-from repro.mc import SearchBudget, TransitionConfig
-from repro.runtime import NetworkModel
-from repro.sim import OverlayWorkload
-from repro.systems.randtree import ALL_PROPERTIES, RandTree, RandTreeConfig
+from repro.api import Experiment
+from repro.core import Mode
+from repro.mc import SearchBudget
 
 NODES = 6
 DURATION = 300.0
 
 
 def _run_mode(mode: Mode, seed: int = 31):
-    config = RandTreeConfig(max_children=2, fix_recovery_timer=True)
-    workload = OverlayWorkload(
-        protocol_factory=lambda: RandTree(config),
-        properties=ALL_PROPERTIES,
-        node_count=NODES,
-        duration=DURATION,
-        churn_mean_interval=60.0,
-        crystalball_mode=mode,
-        crystalball_config=CrystalBallConfig(
-            mode=mode,
-            search_budget=SearchBudget(max_states=400, max_depth=6),
-            transition=TransitionConfig(enable_resets=True, max_resets_per_node=1),
-        ),
-        network=NetworkModel(rst_loss_probability=0.6),
-        seed=seed,
-        max_events=150_000,
-    )
     # The second-smallest node bootstraps the tree so root handovers occur.
-    config.bootstrap = (workload.addresses()[1],)
-    return workload.run()
+    return (Experiment("randtree")
+            .nodes(NODES)
+            .duration(DURATION)
+            .churn(interval=60.0)
+            .network(rst_loss=0.6)
+            .crystalball(mode,
+                         budget=SearchBudget(max_states=400, max_depth=6))
+            .options(bootstrap_index=1, max_children=2,
+                     fix_recovery_timer=True)
+            .max_events(150_000)
+            .seed(seed)
+            .run())
 
 
 @pytest.mark.benchmark(group="sec541")
@@ -53,13 +44,13 @@ def test_sec541_randtree_steering_counters(benchmark):
 
     results = benchmark.pedantic(run_all, rounds=1, iterations=1)
     rows = []
-    for label, result in results.items():
+    for label, report in results.items():
         rows.append((label,
-                     result.monitor.inconsistent_states,
-                     result.total_predicted(),
-                     result.total_steered(),
-                     result.total_unhelpful(),
-                     result.total_isc_blocks()))
+                     report.live_inconsistent_states(),
+                     report.total_predicted(),
+                     report.total_steered(),
+                     report.total_unhelpful(),
+                     report.total_isc_blocks()))
     print("\nSection 5.4.1 — RandTree churn (scaled down: "
           f"{NODES} nodes, {DURATION:.0f} s)")
     print(f"{'mode':<10} {'inconsistent':>13} {'predicted':>10} {'steered':>8} "
@@ -75,5 +66,5 @@ def test_sec541_randtree_steering_counters(benchmark):
     assert steering.total_predicted() + steering.total_isc_blocks() > 0
     # Steering does not make the live system *more* inconsistent than the
     # baseline run.
-    assert (steering.monitor.inconsistent_states
-            <= max(off.monitor.inconsistent_states, 1) * 2)
+    assert (steering.live_inconsistent_states()
+            <= max(off.live_inconsistent_states(), 1) * 2)

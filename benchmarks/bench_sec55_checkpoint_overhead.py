@@ -13,61 +13,44 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import mean
-from repro.core import CrystalBallConfig, Mode
+from repro.api import Experiment
 from repro.mc import SearchBudget, TransitionConfig
-from repro.sim import OverlayWorkload
-from repro.systems import chord, randtree
 
 DURATION = 200.0
 NODES = 8
 
 
-def _run(system_name: str):
-    if system_name == "RandTree":
-        config = randtree.RandTreeConfig(max_children=2)
-        factory = lambda: randtree.RandTree(config)
-        properties = randtree.ALL_PROPERTIES
-    else:
-        config = chord.ChordConfig()
-        factory = lambda: chord.Chord(config)
-        properties = chord.ALL_PROPERTIES
-    workload = OverlayWorkload(
-        protocol_factory=factory,
-        properties=properties,
-        node_count=NODES,
-        duration=DURATION,
-        churn_mean_interval=None,
-        crystalball_mode=Mode.DEBUG,
-        crystalball_config=CrystalBallConfig(
-            mode=Mode.DEBUG,
-            search_budget=SearchBudget(max_states=150, max_depth=4),
-            transition=TransitionConfig(enable_resets=False),
-        ),
-        seed=3,
-        max_events=120_000,
-    )
-    config.bootstrap = (workload.addresses()[0],)
-    result = workload.run()
+def _run(system: str):
+    report = (Experiment(system)
+              .nodes(NODES)
+              .duration(DURATION)
+              .churn(False)
+              .crystalball("debug",
+                           budget=SearchBudget(max_states=150, max_depth=4),
+                           transition=TransitionConfig(enable_resets=False))
+              .seed(3)
+              .max_events(120_000)
+              .run())
     sizes = []
-    for controller in result.controllers.values():
+    for controller in report.controllers.values():
         latest = controller.store.latest()
         if latest is not None:
             sizes.append(latest.size_bytes())
-    checkpoint_bytes = result.checkpoint_bytes()
+    checkpoint_bytes = report.checkpoint_bytes()
     bits_per_second_per_node = checkpoint_bytes * 8 / DURATION / NODES
     return {"mean_checkpoint_bytes": mean(sizes),
             "checkpoint_bps_per_node": bits_per_second_per_node,
-            "service_bytes": result.simulator.total_service_bytes()}
+            "service_bytes": report.simulator.total_service_bytes()}
 
 
-PAPER = {"RandTree": {"checkpoint_bytes": 176, "bps": 803},
-         "Chord": {"checkpoint_bytes": 1028, "bps": 8224}}
+PAPER = {"randtree": {"checkpoint_bytes": 176, "bps": 803},
+         "chord": {"checkpoint_bytes": 1028, "bps": 8224}}
 
 
 @pytest.mark.benchmark(group="sec55")
 def test_sec55_checkpoint_sizes_and_bandwidth(benchmark):
     results = benchmark.pedantic(
-        lambda: {name: _run(name) for name in ("RandTree", "Chord")},
+        lambda: {name: _run(name) for name in ("randtree", "chord")},
         rounds=1, iterations=1)
     print("\nSection 5.5 — checkpoint overhead")
     for name, measured in results.items():
@@ -78,8 +61,8 @@ def test_sec55_checkpoint_sizes_and_bandwidth(benchmark):
               f"(paper {paper['bps']} bps, 100 nodes)")
     benchmark.extra_info.update({"measured": results, "paper": PAPER})
     # Shape: Chord state is substantially larger than RandTree state.
-    assert (results["Chord"]["mean_checkpoint_bytes"]
-            > results["RandTree"]["mean_checkpoint_bytes"])
+    assert (results["chord"]["mean_checkpoint_bytes"]
+            > results["randtree"]["mean_checkpoint_bytes"])
     # Checkpoint traffic stays far below the service's own traffic volume.
     for name, measured in results.items():
         assert measured["checkpoint_bps_per_node"] < 200_000

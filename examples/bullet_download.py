@@ -3,11 +3,13 @@
 
 Part 1 (Section 5.2.3): consequence prediction from a small Bullet' snapshot
 predicts the file-map inconsistency caused by clearing the shadow map when
-the bounded transport refuses a Diff.
+the bounded transport refuses a Diff.  The snapshot comes from the
+registered ``shadow-map`` scenario.
 
-Part 2 (Figure 17): a multi-node download is run with and without a
-CrystalBall controller attached, comparing completion-time CDFs and the
-bandwidth spent on checkpoints.
+Part 2 (Figure 17): the registered ``download`` scenario is run with and
+without a CrystalBall controller attached, comparing completion-time CDFs
+and the bandwidth spent on checkpoints.  The same runs are available as
+``python -m repro run bulletprime --scenario download``.
 
 Run with::
 
@@ -17,74 +19,48 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import empirical_cdf, format_table, median, slowdown
-from repro.core import Mode, consequence_prediction
-from repro.mc import GlobalState, SearchBudget, TransitionConfig, TransitionSystem
-from repro.runtime import Address
-from repro.systems.bulletprime import (
-    ALL_PROPERTIES,
-    BulletConfig,
-    BulletPrime,
-    DownloadScenario,
-)
-from repro.systems.bulletprime.protocol import DIFF_TIMER, DRAIN_TIMER, REQUEST_TIMER
+from repro.api import Experiment
 
 
 def predict_shadow_map_bug() -> None:
-    """Build a two-node sender/receiver snapshot where the send queue is
-    nearly full and let consequence prediction find the inconsistency."""
-    sender, receiver = Address(1), Address(2)
-    config = BulletConfig(source=sender,
-                          mesh={sender: (receiver,), receiver: (sender,)},
-                          block_count=8, send_queue_capacity=64,
-                          fix_shadow_map=False)
-    protocol = BulletPrime(config)
-    sender_state = protocol.initial_state(sender)
-    receiver_state = protocol.initial_state(receiver)
-    # The send queue towards the receiver is almost full (a block transfer is
-    # outstanding), so the next Diff will be refused.
-    sender_state.queue_bytes[receiver] = 60
-
-    snapshot = GlobalState.from_snapshot(
-        {sender: sender_state, receiver: receiver_state},
-        timers={sender: {DIFF_TIMER, REQUEST_TIMER, DRAIN_TIMER},
-                receiver: {DIFF_TIMER, REQUEST_TIMER, DRAIN_TIMER}},
-    )
-    system = TransitionSystem(protocol, TransitionConfig(enable_resets=False))
-    result = consequence_prediction(system, snapshot, ALL_PROPERTIES,
-                                    SearchBudget(max_states=4000, max_depth=6))
+    report = (Experiment("bulletprime").scenario("shadow-map").run())
     print("Part 1 — predicting the shadow-file-map inconsistency:")
-    print(f"  states visited: {result.stats.states_visited}, "
-          f"violations: {len(result.violations)}")
-    best = result.shortest_violation()
-    if best is not None:
-        print(f"  {best.violation}")
-        for step, event in enumerate(best.path, start=1):
-            print(f"    {step}. {event.describe()}")
+    print(f"  states visited: {report.outcome['states_visited']}, "
+          f"violations: {report.outcome['violations']}")
+    if report.outcome["shortest_violation"]:
+        print(f"  {report.outcome['shortest_violation']}")
+        for step, described in enumerate(report.outcome["shortest_path"], start=1):
+            print(f"    {step}. {described}")
     print()
 
 
 def compare_download_overhead() -> None:
     print("Part 2 — download completion times with and without CrystalBall:")
-    baseline = DownloadScenario(node_count=12, block_count=32,
-                                crystalball_mode=Mode.OFF, seed=3).run()
-    monitored = DownloadScenario(node_count=12, block_count=32,
-                                 crystalball_mode=Mode.DEBUG, seed=3).run()
+    common = dict(node_count=12, block_count=32)
+    baseline = (Experiment("bulletprime").scenario("download")
+                .mode("off").seed(3).options(**common).run())
+    monitored = (Experiment("bulletprime").scenario("download")
+                 .mode("debug").seed(3).options(**common).run())
+
+    def times(report):
+        return sorted(report.outcome["completion_times"].values())
+
     rows = [
-        ["baseline", baseline.nodes_completed, f"{median(baseline.sorted_times()):.1f}",
-         baseline.service_bytes, 0],
-        ["CrystalBall", monitored.nodes_completed,
-         f"{median(monitored.sorted_times()):.1f}",
-         monitored.service_bytes, monitored.checkpoint_bytes],
+        ["baseline", baseline.outcome["nodes_completed"],
+         f"{median(times(baseline)):.1f}", baseline.outcome["service_bytes"], 0],
+        ["CrystalBall", monitored.outcome["nodes_completed"],
+         f"{median(times(monitored)):.1f}", monitored.outcome["service_bytes"],
+         monitored.outcome["checkpoint_bytes"]],
     ]
     print(format_table(
         ["run", "nodes done", "median completion (s)", "service bytes",
          "checkpoint bytes"],
         rows))
-    rel = slowdown(baseline.sorted_times(), monitored.sorted_times())
+    rel = slowdown(times(baseline), times(monitored))
     print(f"  relative median slowdown: {rel * 100:.1f}% "
           "(the paper reports <10% for a 20 MB download on 49 nodes)")
     print("  CDF (CrystalBall run):")
-    for point in empirical_cdf(monitored.sorted_times())[::3]:
+    for point in empirical_cdf(times(monitored))[::3]:
         print(f"    {point.fraction:5.2f} of nodes finished by {point.value:7.1f} s")
 
 

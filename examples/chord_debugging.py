@@ -7,6 +7,10 @@ itself while its successor list names other nodes, and a violation of the
 ring-ordering constraint.  The exhaustive baseline with the same budget is
 shown for comparison, as is the effect of the suggested fixes.
 
+The scripted states come from the registered Chord scenarios
+(``repro.api.get_system("chord")``); the same searches are available as
+``python -m repro run chord --scenario figure10``.
+
 Run with::
 
     python examples/chord_debugging.py
@@ -15,9 +19,10 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import format_table
+from repro.api import Experiment, get_system
 from repro.core import consequence_prediction
 from repro.mc import SearchBudget, TransitionConfig, TransitionSystem, find_errors
-from repro.systems.chord import ALL_PROPERTIES, Figure10Scenario, Figure11Scenario
+from repro.systems.chord import ALL_PROPERTIES
 
 
 def explore(scenario, *, resets: bool) -> dict:
@@ -34,11 +39,13 @@ def explore(scenario, *, resets: bool) -> dict:
 
 
 def main() -> None:
+    chord = get_system("chord")
     rows = []
-    for name, scenario, resets in [
-        ("Figure 10 (pred = self)", Figure10Scenario.build(), True),
-        ("Figure 11 (ordering)", Figure11Scenario.build(), False),
+    for name, scenario_name, resets in [
+        ("Figure 10 (pred = self)", "figure10", True),
+        ("Figure 11 (ordering)", "figure11", False),
     ]:
+        scenario = chord.scenarios[scenario_name].build()
         results = explore(scenario, resets=resets)
         prediction = results["prediction"]
         baseline = results["baseline"]
@@ -65,13 +72,11 @@ def main() -> None:
         title="Consequence prediction vs exhaustive search on the Chord scenarios",
     ))
 
-    print("\nWith the paper's fixes applied:")
-    for name, scenario, resets in [
-        ("Figure 10", Figure10Scenario.build(fixed=True), True),
-        ("Figure 11", Figure11Scenario.build(fixed=True), False),
-    ]:
-        fixed = explore(scenario, resets=resets)["prediction"]
-        print(f"  {name}: {len(fixed.violations)} violations predicted")
+    print("\nWith the paper's fixes applied (via the Experiment API):")
+    for name in ("figure10", "figure11"):
+        report = (Experiment("chord").scenario(name)
+                  .options(fixed=True).run())
+        print(f"  {name}: {report.outcome['violations']} violations predicted")
 
 
 if __name__ == "__main__":

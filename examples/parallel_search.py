@@ -8,6 +8,11 @@ sharded-frontier parallel engine, shows they find the same inconsistencies,
 and then races a portfolio of strategies (exhaustive, consequence
 prediction, random walks) from the same snapshot.
 
+The scripted snapshot comes from the unified API's registry; a live run
+with the parallel engine is one builder chain away::
+
+    Experiment("randtree").crystalball("debug", engine="parallel").run()
+
 Run with::
 
     python examples/parallel_search.py
@@ -17,6 +22,7 @@ from __future__ import annotations
 
 import os
 
+from repro.api import get_system
 from repro.core import CrystalBallConfig
 from repro.mc import (
     ParallelEngine,
@@ -28,7 +34,6 @@ from repro.mc import (
     make_engine,
     run_portfolio,
 )
-from repro.systems.randtree import ALL_PROPERTIES, Figure2Scenario
 
 
 def _keys(result):
@@ -37,7 +42,9 @@ def _keys(result):
 
 
 def main() -> None:
-    scenario = Figure2Scenario.build()
+    randtree = get_system("randtree")
+    scenario = randtree.scenarios["figure2"].build()
+    properties = list(randtree.properties)
     snapshot = scenario.global_state()
     system = TransitionSystem(
         scenario.protocol,
@@ -49,7 +56,7 @@ def main() -> None:
     engines = [SerialEngine(), ParallelEngine(num_workers=2)]
     results = []
     for engine in engines:
-        result = engine.run(system, snapshot, ALL_PROPERTIES, budget,
+        result = engine.run(system, snapshot, properties, budget,
                             kind=SearchKind.EXHAUSTIVE)
         results.append(result)
         print(f"  {engine!r}: {result.stats.states_visited} states in "
@@ -64,7 +71,7 @@ def main() -> None:
           f"{make_engine(config.engine)!r}\n")
 
     print("Portfolio mode races complementary strategies from one snapshot:")
-    outcome = run_portfolio(system, snapshot, ALL_PROPERTIES,
+    outcome = run_portfolio(system, snapshot, properties,
                             SearchBudget(max_states=2000, max_depth=8),
                             wall_clock_seconds=30.0, walks=2)
     for name in sorted(outcome.results):

@@ -4,7 +4,10 @@
 Runs the scripted Figure 13 scenario for both injected bugs in three
 configurations (CrystalBall off, execution steering, immediate safety check
 only) and reports whether the agreement property — at most one value chosen —
-was preserved.
+was preserved.  Each run goes through the unified API's scenario registry;
+the same runs are available as::
+
+    python -m repro run paxos --scenario figure13-bug1 --mode steering
 
 Run with::
 
@@ -14,8 +17,8 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import format_table
+from repro.api import Experiment
 from repro.core import Mode
-from repro.systems.paxos import Figure13Scenario
 
 
 def main() -> None:
@@ -24,17 +27,21 @@ def main() -> None:
         for mode, label in [(Mode.OFF, "off"),
                             (Mode.STEERING, "steering"),
                             (Mode.ISC_ONLY, "ISC only")]:
-            scenario = Figure13Scenario(bug=bug, inter_round_delay=20.0,
-                                        crystalball_mode=mode, seed=17)
             print(f"bug{bug} / {label}: running the Figure 13 schedule ...")
-            result = scenario.run()
+            report = (Experiment("paxos")
+                      .scenario(f"figure13-bug{bug}")
+                      .mode(mode)
+                      .seed(17)
+                      .options(inter_round_delay=20.0)
+                      .run())
+            outcome = report.outcome
             rows.append([
                 f"bug{bug}",
                 label,
-                "violated" if result.violation_occurred else "safe",
-                sorted(result.chosen_values),
-                result.steering_filters_triggered,
-                result.isc_blocks,
+                "violated" if outcome["violation_occurred"] else "safe",
+                outcome["chosen_values"],
+                report.total_filter_triggers(),
+                report.total_isc_blocks(),
             ])
 
     print()

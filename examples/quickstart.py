@@ -8,6 +8,10 @@ next to the deployed system — predicts that a silent reset of node 13
 followed by a re-join leads to node 13 appearing in both the children and
 the sibling lists of node 9.
 
+The scripted state comes from the unified API's system registry
+(``repro.api``); the same scenario is available from the command line as
+``python -m repro run randtree --scenario figure2``.
+
 Run with::
 
     python examples/quickstart.py
@@ -15,13 +19,15 @@ Run with::
 
 from __future__ import annotations
 
+from repro.api import Experiment, get_system
 from repro.core import consequence_prediction
 from repro.mc import SearchBudget, TransitionConfig, TransitionSystem, find_errors
-from repro.systems.randtree import ALL_PROPERTIES, Figure2Scenario
+from repro.systems.randtree import ALL_PROPERTIES
 
 
 def main() -> None:
-    scenario = Figure2Scenario.build()
+    randtree = get_system("randtree")
+    scenario = randtree.scenarios["figure2"].build()
     snapshot = scenario.global_state()
     system = TransitionSystem(
         scenario.protocol,
@@ -68,14 +74,10 @@ def main() -> None:
           f"distinct violations: {len(baseline.unique_property_names())}")
 
     print("\nApplying the paper's fixes (fix_update_sibling & co.) removes the "
-          "predictions:")
-    fixed = Figure2Scenario.build(fixed=True)
-    fixed_system = TransitionSystem(
-        fixed.protocol, TransitionConfig(enable_resets=True, max_resets_per_node=1))
-    fixed_result = consequence_prediction(
-        fixed_system, fixed.global_state(), ALL_PROPERTIES,
-        SearchBudget(max_states=6000, max_depth=9))
-    print(f"  violations with fixes applied: {len(fixed_result.violations)}")
+          "predictions — the same search through the fluent Experiment API:")
+    fixed_report = (Experiment("randtree").scenario("figure2")
+                    .options(fixed=True, max_states=6000, max_depth=9).run())
+    print(f"  violations with fixes applied: {fixed_report.outcome['violations']}")
 
 
 if __name__ == "__main__":

@@ -9,6 +9,9 @@ Three configurations of the same churn workload are compared:
 3. execution steering + immediate safety check — consequence prediction
    installs event filters ahead of time and the fallback catches the rest.
 
+Each configuration is one fluent :class:`repro.api.Experiment`; the same
+run is available as ``python -m repro run randtree --mode steering``.
+
 Run with::
 
     python examples/randtree_steering.py
@@ -17,35 +20,22 @@ Run with::
 from __future__ import annotations
 
 from repro.analysis import format_table
-from repro.core import CrystalBallConfig, Mode
-from repro.mc import SearchBudget, TransitionConfig
-from repro.runtime import NetworkModel
-from repro.sim import OverlayWorkload
-from repro.systems.randtree import ALL_PROPERTIES, RandTree, RandTreeConfig
+from repro.api import Experiment
+from repro.core import Mode
+from repro.mc import SearchBudget
 
 
 def run_mode(mode: Mode, *, nodes: int = 8, duration: float = 300.0, seed: int = 5):
-    addresses_start = 1
-    bootstrap_config = RandTreeConfig(bootstrap=(), max_children=2)
-    workload = OverlayWorkload(
-        protocol_factory=lambda: RandTree(bootstrap_config),
-        properties=ALL_PROPERTIES,
-        node_count=nodes,
-        duration=duration,
-        churn_mean_interval=60.0,
-        crystalball_mode=mode,
-        crystalball_config=CrystalBallConfig(
-            mode=mode,
-            search_budget=SearchBudget(max_states=400, max_depth=6),
-            transition=TransitionConfig(enable_resets=True, max_resets_per_node=1),
-        ),
-        network=NetworkModel(rst_loss_probability=0.5),
-        seed=seed,
-        address_start=addresses_start,
-    )
-    # All nodes share the same bootstrap node (the first address).
-    bootstrap_config.bootstrap = (workload.addresses()[0],)
-    return workload.run()
+    return (Experiment("randtree")
+            .nodes(nodes)
+            .duration(duration)
+            .churn(interval=60.0)
+            .network(rst_loss=0.5)
+            .crystalball(mode,
+                         budget=SearchBudget(max_states=400, max_depth=6))
+            .options(max_children=2)
+            .seed(seed)
+            .run())
 
 
 def main() -> None:
@@ -54,15 +44,15 @@ def main() -> None:
                         (Mode.ISC_ONLY, "immediate safety check only"),
                         (Mode.STEERING, "execution steering + ISC")]:
         print(f"Running RandTree churn workload with: {label} ...")
-        result = run_mode(mode)
+        report = run_mode(mode)
         rows.append([
             label,
-            result.monitor.inconsistent_states,
-            result.total_predicted(),
-            result.total_steered(),
-            result.total_unhelpful(),
-            result.total_isc_blocks(),
-            result.churn_events,
+            report.live_inconsistent_states(),
+            report.total_predicted(),
+            report.total_steered(),
+            report.total_unhelpful(),
+            report.total_isc_blocks(),
+            report.churn_events,
         ])
 
     print()

@@ -25,10 +25,14 @@ Package layout
     INET-like topology generation, workloads and traces.
 ``repro.analysis``
     Statistics and table/figure formatting used by the benchmark harness.
+``repro.api``
+    The unified experiment API: system registry, fluent ``Experiment``
+    builder, structured ``RunReport`` and the ``python -m repro`` CLI.
 """
 
-from . import analysis, core, mc, runtime, sim, systems
+from . import analysis, api, core, mc, runtime, sim, systems
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["analysis", "core", "mc", "runtime", "sim", "systems", "__version__"]
+__all__ = ["analysis", "api", "core", "mc", "runtime", "sim", "systems",
+           "__version__"]

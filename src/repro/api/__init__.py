@@ -1,0 +1,48 @@
+"""Unified experiment API: the single front door to the reproduction.
+
+* :func:`register_system` / :func:`get_system` / :func:`list_systems` — the
+  plugin registry under which the four bundled systems (RandTree, Chord,
+  Paxos, Bullet') self-register their protocol factory, safety properties,
+  transition config and named scenarios;
+* :class:`Experiment` — the fluent builder that assembles and runs live
+  deployments or scripted scenarios;
+* :class:`RunReport` — the one structured, JSON-serializable result type;
+* ``python -m repro`` — the command-line interface over all of the above.
+"""
+
+from .experiment import (
+    Experiment,
+    LiveRun,
+    build_run_report,
+    make_search_scenario_runner,
+    parse_mode,
+    report_from_search,
+    warn_scenario_mode_noop,
+)
+from .registry import (
+    ScenarioSpec,
+    SystemSpec,
+    get_system,
+    list_systems,
+    register_system,
+    unregister_system,
+)
+from .report import NodeReport, RunReport
+
+__all__ = [
+    "Experiment",
+    "LiveRun",
+    "build_run_report",
+    "make_search_scenario_runner",
+    "parse_mode",
+    "report_from_search",
+    "warn_scenario_mode_noop",
+    "ScenarioSpec",
+    "SystemSpec",
+    "get_system",
+    "list_systems",
+    "register_system",
+    "unregister_system",
+    "NodeReport",
+    "RunReport",
+]

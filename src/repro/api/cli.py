@@ -1,0 +1,173 @@
+"""``python -m repro`` — command-line front end of the unified API.
+
+Subcommands::
+
+    python -m repro list                      # registered systems & scenarios
+    python -m repro run randtree --ticks 50 --json
+    python -m repro run paxos --scenario figure13-bug1 --mode steering
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Optional, Sequence
+
+from ..analysis.reporting import format_table, render_run_report
+from .experiment import Experiment, parse_mode
+from .registry import list_systems
+
+
+def _parse_option(raw: str) -> tuple[str, Any]:
+    """``key=value`` options with JSON-ish value coercion."""
+    if "=" not in raw:
+        raise argparse.ArgumentTypeError(
+            f"option {raw!r} must have the form key=value")
+    key, value = raw.split("=", 1)
+    try:
+        return key, json.loads(value)
+    except json.JSONDecodeError:
+        return key, value
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run CrystalBall experiments over the registered systems.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list registered systems and scenarios")
+    list_cmd.add_argument("--json", action="store_true", dest="as_json",
+                          help="machine-readable output")
+
+    run = sub.add_parser("run", help="run one system or scripted scenario")
+    run.add_argument("system", help="registered system name (see `list`)")
+    run.add_argument("--scenario", default=None,
+                     help="named scripted scenario instead of a live run")
+    run.add_argument("--mode", default="debug",
+                     help="CrystalBall mode: off, debug, steering, isc-only")
+    run.add_argument("--nodes", type=int, default=None, help="deployment size")
+    run.add_argument("--duration", type=float, default=None,
+                     help="simulated seconds to run")
+    run.add_argument("--ticks", type=int, default=None,
+                     help="duration in controller tick intervals")
+    run.add_argument("--seed", type=int, default=0, help="random seed")
+    run.add_argument("--engine", default=None,
+                     help="search engine: serial, parallel or parallel:N")
+    run.add_argument("--portfolio", action="store_true",
+                     help="race exhaustive/consequence/random-walk strategies")
+    run.add_argument("--max-states", type=int, default=None,
+                     help="consequence-prediction state budget per run")
+    run.add_argument("--max-depth", type=int, default=None,
+                     help="consequence-prediction depth bound")
+    run.add_argument("--churn-interval", type=float, default=None,
+                     help="mean seconds between churn events")
+    run.add_argument("--no-churn", action="store_true", help="disable churn")
+    run.add_argument("--option", metavar="KEY=VALUE", type=_parse_option,
+                     action="append", default=[],
+                     help="system/scenario-specific option (repeatable)")
+    run.add_argument("--json", action="store_true", dest="as_json",
+                     help="print the full RunReport as JSON")
+    return parser
+
+
+def _cmd_list(as_json: bool) -> int:
+    systems = list_systems()
+    if as_json:
+        payload = [{
+            "name": spec.name,
+            "summary": spec.summary,
+            "properties": [prop.name for prop in spec.properties],
+            "scenarios": {name: scenario.description
+                          for name, scenario in sorted(spec.scenarios.items())},
+            "default_nodes": spec.default_nodes,
+            "default_duration": spec.default_duration,
+        } for spec in systems]
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for spec in systems:
+        rows.append([spec.name, len(spec.properties),
+                     ", ".join(sorted(spec.scenarios)) or "-", spec.summary])
+    print(format_table(["system", "properties", "scenarios", "summary"], rows,
+                       title="Registered systems (python -m repro run <system>)"))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    try:
+        experiment = Experiment(args.system)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.scenario is not None:
+        try:
+            experiment.scenario(args.scenario)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    if args.nodes is not None:
+        experiment.nodes(args.nodes)
+    if args.duration is not None:
+        experiment.duration(args.duration)
+    if args.ticks is not None:
+        experiment.ticks(args.ticks)
+    experiment.seed(args.seed)
+
+    cb_kwargs: dict[str, Any] = {}
+    if args.engine is not None:
+        cb_kwargs["engine"] = args.engine
+    if args.portfolio:
+        cb_kwargs["portfolio"] = True
+    if args.max_states is not None or args.max_depth is not None:
+        from ..mc.search import SearchBudget
+
+        # Start from the system's registered default budget so passing only
+        # one bound does not silently replace the other with a fixed value.
+        spec = experiment.spec
+        budget = (spec.search_budget_factory() if spec.search_budget_factory
+                  else SearchBudget())
+        if args.max_states is not None:
+            budget.max_states = args.max_states
+        if args.max_depth is not None:
+            budget.max_depth = args.max_depth
+        cb_kwargs["budget"] = budget
+    try:
+        experiment.crystalball(parse_mode(args.mode), **cb_kwargs)
+    except ValueError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.no_churn:
+        experiment.churn(False)
+    elif args.churn_interval is not None:
+        experiment.churn(interval=args.churn_interval)
+
+    if args.option:
+        experiment.options(**dict(args.option))
+
+    try:
+        report = experiment.run()
+    except ValueError as exc:
+        # Bad user input (unknown option keys, invalid settings) — report it
+        # like the other input errors instead of dumping a traceback.
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(render_run_report(report))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args.as_json)
+    return _cmd_run(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

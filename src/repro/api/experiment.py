@@ -1,0 +1,551 @@
+"""The fluent :class:`Experiment` builder and the generic live-run driver.
+
+``Experiment`` is the single front door to the reproduction: pick a
+registered system, chain configuration calls, and ``run()`` — either a named
+scripted scenario or a generic live deployment with staggered joins, churn
+and CrystalBall controllers::
+
+    report = (Experiment("chord")
+              .nodes(24)
+              .network(loss=0.01)
+              .churn(rate=1 / 60)
+              .crystalball(mode="steering", engine="parallel")
+              .duration(400)
+              .run())
+    print(report.accounting())
+
+:class:`LiveRun` is the underlying driver; it subsumes the old
+``repro.sim.OverlayWorkload`` (kept as a deprecation shim) and always
+returns a :class:`~repro.api.report.RunReport`.
+"""
+
+from __future__ import annotations
+
+import inspect
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence, Union
+
+from ..core.consequence import consequence_prediction
+from ..core.controller import (
+    CrystalBallConfig,
+    CrystalBallController,
+    Mode,
+    attach_crystalball,
+)
+from ..core.monitor import LivePropertyMonitor
+from ..mc.properties import SafetyProperty
+from ..mc.search import SearchBudget, SearchResult
+from ..mc.transition import TransitionConfig, TransitionSystem
+from ..runtime.address import Address, make_addresses
+from ..runtime.churn import ChurnProcess
+from ..runtime.network import NetworkModel
+from ..runtime.protocol import Protocol
+from ..runtime.simulator import Simulator
+from .registry import ScenarioSpec, SystemSpec, get_system
+from .report import NodeReport, RunReport
+
+
+def parse_mode(mode: Union[Mode, str, None]) -> Mode:
+    """Accept a :class:`Mode`, its string value, or ``None`` (= off)."""
+    if mode is None:
+        return Mode.OFF
+    if isinstance(mode, Mode):
+        return mode
+    try:
+        return Mode(str(mode).lower().replace("_", "-"))
+    except ValueError:
+        known = ", ".join(m.value for m in Mode)
+        raise ValueError(f"unknown mode {mode!r} (one of: {known})") from None
+
+
+def build_run_report(
+    *,
+    system: str,
+    scenario: Optional[str],
+    mode: Mode,
+    seed: int,
+    sim: Simulator,
+    controllers: Mapping[Address, CrystalBallController],
+    monitor: Optional[LivePropertyMonitor] = None,
+    churn_events: int = 0,
+    wall_clock_seconds: float = 0.0,
+    outcome: Optional[dict] = None,
+) -> RunReport:
+    """Assemble a :class:`RunReport` from the live objects of one run."""
+    return RunReport(
+        system=system,
+        scenario=scenario,
+        mode=mode.value,
+        seed=seed,
+        node_count=len(sim.nodes),
+        simulated_seconds=sim.now,
+        wall_clock_seconds=wall_clock_seconds,
+        churn_events=churn_events,
+        nodes=[NodeReport.from_controller(controllers[addr])
+               for addr in sorted(controllers)],
+        monitor=monitor.report() if monitor is not None else {},
+        outcome=outcome or {},
+        simulator=sim,
+        controllers=dict(controllers),
+        live_monitor=monitor,
+    )
+
+
+def warn_scenario_mode_noop(mode: Union[Mode, str, None], scenario: str) -> None:
+    """Warn when a steering/ISC mode is requested for an offline search.
+
+    The figure scenarios run consequence prediction from a scripted
+    snapshot; there is no live execution to steer, so any mode beyond
+    off/debug would silently measure nothing.
+    """
+    parsed = parse_mode(mode)
+    if parsed not in (Mode.OFF, Mode.DEBUG):
+        warnings.warn(
+            f"scenario {scenario!r} is an offline prediction search; "
+            f"mode {parsed.value!r} has no effect on it",
+            UserWarning, stacklevel=3)
+
+
+def report_from_search(
+    *,
+    system: str,
+    scenario: Optional[str],
+    result: SearchResult,
+    seed: int = 0,
+    node_count: int = 0,
+    extra_outcome: Optional[dict] = None,
+) -> RunReport:
+    """Wrap an offline search (a scripted figure scenario) into a report."""
+    shortest = result.shortest_violation()
+    outcome = {
+        "states_visited": result.stats.states_visited,
+        "max_depth_reached": result.stats.max_depth_reached,
+        "elapsed_seconds": result.stats.elapsed_seconds,
+        "violations": len(result.violations),
+        "properties_violated": sorted(result.unique_property_names()),
+        "shortest_violation": (str(shortest.violation)
+                               if shortest is not None else None),
+        "shortest_path": ([event.describe() for event in shortest.path]
+                          if shortest is not None else []),
+    }
+    outcome.update(extra_outcome or {})
+    return RunReport(
+        system=system,
+        scenario=scenario,
+        mode="prediction",
+        seed=seed,
+        node_count=node_count,
+        simulated_seconds=0.0,
+        wall_clock_seconds=result.stats.elapsed_seconds,
+        outcome=outcome,
+    )
+
+
+def make_search_scenario_runner(
+    *,
+    system: str,
+    scenario: str,
+    properties: Sequence[SafetyProperty],
+    prepare: Callable[[bool], tuple[Protocol, Any]],
+    default_max_states: int,
+    default_max_depth: int,
+    resets: bool = True,
+    max_resets_per_node: int = 1,
+) -> Callable[..., RunReport]:
+    """Build a :class:`~repro.api.registry.ScenarioSpec` runner that runs
+    consequence prediction from a scripted snapshot.
+
+    ``prepare(fixed)`` returns ``(protocol, snapshot)`` — with the paper's
+    fixes applied when ``fixed`` is true.  The bundled figure scenarios
+    (RandTree Figures 2/9, Chord Figures 10/11, the Bullet' shadow-map
+    state) all share this shape.
+    """
+
+    def run(*, mode=None, seed: int = 0, fixed: bool = False,
+            max_states: int = default_max_states,
+            max_depth: int = default_max_depth, **_ignored) -> RunReport:
+        warn_scenario_mode_noop(mode, scenario)
+        protocol, snapshot = prepare(fixed)
+        transition_system = TransitionSystem(
+            protocol,
+            TransitionConfig(enable_resets=resets,
+                             max_resets_per_node=max_resets_per_node))
+        result = consequence_prediction(
+            transition_system, snapshot, list(properties),
+            SearchBudget(max_states=max_states, max_depth=max_depth))
+        return report_from_search(system=system, scenario=scenario,
+                                  result=result, seed=seed,
+                                  node_count=len(snapshot.nodes),
+                                  extra_outcome={"fixed": fixed})
+
+    return run
+
+
+@dataclass
+class LiveRun:
+    """A live deployment: staggered joins, optional churn, CrystalBall.
+
+    This is the generic driver behind :meth:`Experiment.run`; the legacy
+    ``OverlayWorkload`` delegates here.  Field semantics (and the event
+    ordering, so seeded runs stay reproducible) match the old workload.
+    """
+
+    protocol_factory: Callable[[], Protocol]
+    properties: Sequence[SafetyProperty]
+    node_count: int = 6
+    duration: float = 600.0
+    join_spacing: float = 5.0
+    churn_mean_interval: Optional[float] = 60.0
+    crystalball_mode: Mode = Mode.OFF
+    crystalball_config: Optional[CrystalBallConfig] = None
+    #: which nodes run the model checker (None = all when CrystalBall is on).
+    checker_nodes: Optional[Sequence[Address]] = None
+    network: Optional[NetworkModel] = None
+    seed: int = 0
+    tick_interval: float = 10.0
+    max_events: int = 500_000
+    address_start: int = 1
+    #: application call used for staggered joins; None skips join scheduling.
+    join_call: Optional[str] = "join"
+    #: custom initial scheduling, replaces the join schedule when set.
+    schedule: Optional[Callable[[Simulator, Sequence[Address], Mapping], None]] = None
+    #: outcome extraction merged into ``RunReport.outcome``.
+    collect: Optional[Callable[[Simulator], dict]] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+    system_name: str = "custom"
+    scenario_name: Optional[str] = None
+
+    def addresses(self) -> list[Address]:
+        return make_addresses(self.node_count, start=self.address_start)
+
+    def run(self) -> RunReport:
+        started = time.perf_counter()
+        addresses = self.addresses()
+        network = self.network or NetworkModel()
+        sim = Simulator(self.protocol_factory, network, seed=self.seed,
+                        tick_interval=self.tick_interval)
+        for addr in addresses:
+            sim.add_node(addr)
+
+        controllers: dict[Address, CrystalBallController] = {}
+        if self.crystalball_mode is not Mode.OFF:
+            if self.crystalball_config is not None:
+                # Work on a copy so the caller's config object is never
+                # mutated (it may be reused across experiments).
+                config = self.crystalball_config.copy()
+                config.mode = self.crystalball_mode
+            else:
+                config = CrystalBallConfig(mode=self.crystalball_mode)
+            controllers = attach_crystalball(
+                sim, self.properties, config=config, nodes=self.checker_nodes)
+
+        monitor = LivePropertyMonitor(self.properties).install(sim)
+
+        if self.schedule is not None:
+            self.schedule(sim, addresses, self.options)
+        elif self.join_call is not None:
+            # Staggered joins: the bootstrap node first, then one node every
+            # ``join_spacing`` seconds.
+            for index, addr in enumerate(addresses):
+                sim.schedule_app(1.0 + index * self.join_spacing, addr,
+                                 self.join_call, {})
+
+        churn_events = 0
+        if self.churn_mean_interval is not None:
+            churn = ChurnProcess(nodes=addresses,
+                                 mean_interval=self.churn_mean_interval,
+                                 seed=self.seed + 7,
+                                 stop_after=self.duration * 0.9)
+            churn.install(sim)
+            sim.run(until=self.duration, max_events=self.max_events)
+            churn_events = churn.events_injected
+        else:
+            sim.run(until=self.duration, max_events=self.max_events)
+
+        outcome = self.collect(sim) if self.collect is not None else {}
+        return build_run_report(
+            system=self.system_name,
+            scenario=self.scenario_name,
+            mode=self.crystalball_mode,
+            seed=self.seed,
+            sim=sim,
+            controllers=controllers,
+            monitor=monitor,
+            churn_events=churn_events,
+            wall_clock_seconds=time.perf_counter() - started,
+            outcome=outcome,
+        )
+
+
+class Experiment:
+    """Fluent builder over a registered :class:`SystemSpec`."""
+
+    def __init__(self, system: Union[str, SystemSpec]) -> None:
+        self._spec = get_system(system) if isinstance(system, str) else system
+        self._nodes = self._spec.default_nodes
+        self._duration = self._spec.default_duration
+        self._tick_interval = self._spec.tick_interval
+        self._seed = 0
+        self._mode = Mode.OFF
+        self._cb_config: Optional[CrystalBallConfig] = None
+        self._cb_kwargs: dict[str, Any] = {}
+        self._checker_nodes: Optional[Sequence[Address]] = None
+        self._network: Optional[NetworkModel] = None
+        self._churn_interval = (self._spec.default_churn_interval
+                                if self._spec.supports_churn else None)
+        self._scenario: Optional[str] = None
+        self._options: dict[str, Any] = {}
+        self._properties: Optional[Sequence[SafetyProperty]] = None
+        self._max_events = 500_000
+        #: builder knobs the caller set explicitly (used to forward what a
+        #: scripted scenario can honor and warn about what it cannot).
+        self._explicit: set[str] = set()
+
+    @property
+    def spec(self) -> SystemSpec:
+        return self._spec
+
+    # ---------------------------------------------------------- configuration
+
+    def nodes(self, count: int) -> "Experiment":
+        if count < 1:
+            raise ValueError("an experiment needs at least one node")
+        self._nodes = count
+        self._explicit.add("nodes")
+        return self
+
+    def duration(self, seconds: float) -> "Experiment":
+        self._duration = float(seconds)
+        self._explicit.add("duration")
+        return self
+
+    def ticks(self, count: int) -> "Experiment":
+        """Duration expressed in controller tick intervals."""
+        self._duration = float(count) * self._tick_interval
+        self._explicit.add("duration")
+        return self
+
+    def seed(self, seed: int) -> "Experiment":
+        self._seed = int(seed)
+        return self
+
+    def max_events(self, count: int) -> "Experiment":
+        self._max_events = int(count)
+        self._explicit.add("max_events")
+        return self
+
+    def network(self, model: Optional[NetworkModel] = None, *,
+                rtt: Optional[float] = None,
+                loss: Optional[float] = None,
+                jitter: Optional[float] = None,
+                rst_loss: Optional[float] = None) -> "Experiment":
+        """Use an explicit :class:`NetworkModel` or tweak the default one."""
+        self._explicit.add("network")
+        if model is not None:
+            self._network = model
+            return self
+        kwargs: dict[str, Any] = {}
+        if rtt is not None:
+            kwargs["default_rtt"] = rtt
+        if jitter is not None:
+            kwargs["jitter"] = jitter
+        if rst_loss is not None:
+            kwargs["rst_loss_probability"] = rst_loss
+        if loss is not None:
+            kwargs["loss_fn"] = lambda src, dst, rng: loss
+        self._network = NetworkModel(**kwargs)
+        return self
+
+    def churn(self, enabled: bool = True, *,
+              rate: Optional[float] = None,
+              interval: Optional[float] = None) -> "Experiment":
+        """Configure churn: ``rate`` in events/second or a mean ``interval``."""
+        self._explicit.add("churn")
+        if not enabled:
+            self._churn_interval = None
+            return self
+        if rate is not None and interval is not None:
+            raise ValueError("pass either rate or interval, not both")
+        if rate is not None:
+            if rate <= 0:
+                raise ValueError("churn rate must be positive")
+            self._churn_interval = 1.0 / rate
+        elif interval is not None:
+            self._churn_interval = float(interval)
+        elif self._churn_interval is None:
+            self._churn_interval = self._spec.default_churn_interval or 60.0
+        return self
+
+    def crystalball(self, mode: Union[Mode, str, None] = None, *,
+                    engine: Optional[str] = None,
+                    budget: Optional[SearchBudget] = None,
+                    transition: Optional[TransitionConfig] = None,
+                    config: Optional[CrystalBallConfig] = None,
+                    portfolio: Optional[bool] = None,
+                    nodes: Optional[Sequence[Address]] = None,
+                    immediate_check: Optional[bool] = None,
+                    check_filter_safety: Optional[bool] = None) -> "Experiment":
+        """Attach CrystalBall controllers in the given mode.
+
+        ``mode`` defaults to the explicit config's mode when ``config`` is
+        passed, and to debug otherwise.
+        """
+        if config is not None and any(
+                value is not None for value in (engine, budget, transition,
+                                                portfolio, immediate_check,
+                                                check_filter_safety)):
+            raise ValueError(
+                "pass either an explicit config or individual crystalball "
+                "settings (engine/budget/transition/...), not both")
+        if mode is None:
+            self._mode = config.mode if config is not None else Mode.DEBUG
+        else:
+            self._mode = parse_mode(mode)
+        self._cb_config = config
+        self._checker_nodes = nodes
+        self._cb_kwargs = {}
+        if engine is not None:
+            self._cb_kwargs["engine"] = engine
+            self._explicit.add("engine")
+        if budget is not None:
+            self._cb_kwargs["search_budget"] = budget
+        if transition is not None:
+            self._cb_kwargs["transition"] = transition
+            self._explicit.add("transition")
+        if portfolio is not None:
+            self._cb_kwargs["portfolio_mode"] = portfolio
+            self._explicit.add("portfolio")
+        if immediate_check is not None:
+            self._cb_kwargs["immediate_check"] = immediate_check
+            self._explicit.add("immediate_check")
+        if check_filter_safety is not None:
+            self._cb_kwargs["check_filter_safety"] = check_filter_safety
+            self._explicit.add("check_filter_safety")
+        if nodes is not None:
+            self._explicit.add("checker_nodes")
+        return self
+
+    def mode(self, mode: Union[Mode, str]) -> "Experiment":
+        """Shorthand for :meth:`crystalball` keeping other settings."""
+        self._mode = parse_mode(mode)
+        return self
+
+    def scenario(self, name: str) -> "Experiment":
+        """Run the named scripted scenario instead of a generic live run."""
+        self._spec.scenario(name)  # fail fast on unknown names
+        self._scenario = name
+        return self
+
+    def options(self, **options: Any) -> "Experiment":
+        """System- or scenario-specific options (e.g. ``fixed=True``)."""
+        self._options.update(options)
+        return self
+
+    def properties(self, *properties: SafetyProperty) -> "Experiment":
+        self._properties = list(properties)
+        self._explicit.add("properties")
+        return self
+
+    # ------------------------------------------------------------------- run
+
+    def _crystalball_config(self) -> Optional[CrystalBallConfig]:
+        if self._mode is Mode.OFF:
+            return None
+        if self._cb_config is not None:
+            return self._cb_config
+        kwargs = dict(self._cb_kwargs)
+        if "search_budget" not in kwargs and self._spec.search_budget_factory:
+            kwargs["search_budget"] = self._spec.search_budget_factory()
+        kwargs.setdefault("transition", self._spec.transition_factory())
+        return CrystalBallConfig(mode=self._mode, **kwargs)
+
+    def _scenario_kwargs(self, scenario: ScenarioSpec) -> dict[str, Any]:
+        """Builder settings forwarded into a scripted scenario run.
+
+        Scenario runners script their own deployment, so only the subset of
+        the builder surface the runner names in its signature translates;
+        anything explicitly set that the scenario cannot honor is warned
+        about rather than silently dropped.
+        """
+        named = {
+            parameter.name
+            for parameter in inspect.signature(scenario.run).parameters.values()
+            if parameter.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                                  inspect.Parameter.KEYWORD_ONLY)}
+        # mode/seed are reserved: they come from the builder, never options.
+        accepted = named - {"mode", "seed"}
+        unknown = set(self._options) - accepted
+        if unknown:
+            raise ValueError(
+                f"unknown option(s) for scenario {self._scenario!r}: "
+                f"{sorted(unknown)} (accepted: {sorted(accepted)}; set mode "
+                f"and seed through the builder, not options)")
+        kwargs = dict(self._options)
+        unsupported = self._explicit & {
+            "network", "churn", "engine", "portfolio", "max_events",
+            "properties", "transition", "immediate_check",
+            "check_filter_safety", "checker_nodes"}
+
+        def forward(setting: str, key: str, value: Any) -> None:
+            if key in named:
+                kwargs.setdefault(key, value)
+            else:
+                unsupported.add(setting)
+
+        if "nodes" in self._explicit:
+            forward("nodes", "node_count", self._nodes)
+        if "duration" in self._explicit:
+            forward("duration", "max_time", self._duration)
+        budget = self._cb_kwargs.get("search_budget")
+        if budget is None and self._cb_config is not None:
+            budget = self._cb_config.search_budget
+        if budget is not None:
+            if budget.max_states is not None:
+                forward("budget", "max_states", budget.max_states)
+            if budget.max_depth is not None:
+                forward("budget", "max_depth", budget.max_depth)
+        if unsupported:
+            warnings.warn(
+                f"scenario {self._scenario!r} runs a scripted schedule and "
+                f"ignores these builder settings: {sorted(unsupported)}",
+                UserWarning, stacklevel=3)
+        return kwargs
+
+    def run(self) -> RunReport:
+        if self._scenario is not None:
+            scenario = self._spec.scenario(self._scenario)
+            report = scenario.run(mode=self._mode, seed=self._seed,
+                                  **self._scenario_kwargs(scenario))
+            report.system = self._spec.name
+            report.scenario = self._scenario
+            return report
+
+        properties = (self._properties if self._properties is not None
+                      else list(self._spec.properties))
+        live = LiveRun(
+            protocol_factory=self._spec.protocol_factory(
+                self.addresses(), self._options),
+            properties=properties,
+            node_count=self._nodes,
+            duration=self._duration,
+            join_spacing=self._spec.join_spacing,
+            churn_mean_interval=self._churn_interval,
+            crystalball_mode=self._mode,
+            crystalball_config=self._crystalball_config(),
+            checker_nodes=self._checker_nodes,
+            network=self._network,
+            seed=self._seed,
+            tick_interval=self._tick_interval,
+            max_events=self._max_events,
+            join_call=self._spec.join_call,
+            schedule=self._spec.schedule,
+            collect=self._spec.collect,
+            options=self._options,
+            system_name=self._spec.name,
+        )
+        return live.run()
+
+    def addresses(self) -> list[Address]:
+        return make_addresses(self._nodes, start=1)

@@ -1,0 +1,159 @@
+"""System registry: the plugin surface behind the unified experiment API.
+
+A :class:`SystemSpec` describes everything the harness needs to run a
+system-under-test — how to build its protocol for a set of addresses, which
+safety properties to check, what the model checker may explore, and the
+scripted scenarios the paper's figures are built from.  The four bundled
+systems (RandTree, Chord, Paxos, Bullet') register themselves from their
+``spec`` modules; external code can add further systems with
+:func:`register_system`::
+
+    from repro.api import Experiment, get_system, list_systems
+
+    for spec in list_systems():
+        print(spec.name, "-", spec.summary)
+    report = Experiment("randtree").nodes(8).crystalball("debug").run()
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from ..mc.properties import SafetyProperty
+from ..mc.search import SearchBudget
+from ..mc.transition import TransitionConfig
+from ..runtime.address import Address
+from ..runtime.protocol import Protocol
+
+#: ``protocol_factory(addresses, options) -> per-node factory`` — given the
+#: experiment's member addresses and system-specific options, return the
+#: zero-argument factory the simulator calls for every node.
+ProtocolFactoryBuilder = Callable[
+    [Sequence[Address], Mapping[str, Any]], Callable[[], Protocol]]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, scripted experiment of a registered system.
+
+    ``run`` executes the scenario and returns a
+    :class:`~repro.api.report.RunReport`; it accepts ``mode`` (a
+    :class:`~repro.core.controller.Mode`), ``seed`` and arbitrary
+    scenario-specific keyword options.  ``build``, when present, returns the
+    underlying scripted object (e.g. a figure scenario with its
+    ``global_state()``) for callers that drive the search themselves.
+    """
+
+    name: str
+    description: str
+    run: Callable[..., Any]
+    build: Optional[Callable[..., Any]] = None
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """Declarative description of one system-under-test."""
+
+    name: str
+    summary: str
+    protocol_factory: ProtocolFactoryBuilder
+    properties: tuple[SafetyProperty, ...]
+    #: Factory (not an instance) so no two experiments share mutable config.
+    transition_factory: Callable[[], TransitionConfig] = TransitionConfig
+    scenarios: Mapping[str, ScenarioSpec] = field(default_factory=dict)
+    default_nodes: int = 6
+    default_duration: float = 300.0
+    tick_interval: float = 10.0
+    #: Application call used for staggered joins (None = the protocol starts
+    #: by itself, e.g. a push-based source).
+    join_call: Optional[str] = "join"
+    join_spacing: float = 5.0
+    supports_churn: bool = True
+    default_churn_interval: Optional[float] = 60.0
+    #: Default consequence-prediction budget for live runs of this system.
+    search_budget_factory: Optional[Callable[[], SearchBudget]] = None
+    #: Custom initial scheduling (e.g. Paxos proposals); receives
+    #: ``(simulator, addresses, options)`` and replaces the join schedule.
+    schedule: Optional[Callable[..., None]] = None
+    #: System-specific outcome extraction: ``collect(simulator) -> dict``
+    #: merged into ``RunReport.outcome`` (e.g. chosen values, completions).
+    collect: Optional[Callable[..., dict]] = None
+
+    def scenario(self, name: str) -> ScenarioSpec:
+        try:
+            return self.scenarios[name]
+        except KeyError:
+            known = ", ".join(sorted(self.scenarios)) or "<none>"
+            raise KeyError(
+                f"system {self.name!r} has no scenario {name!r} "
+                f"(known scenarios: {known})") from None
+
+
+_REGISTRY: dict[str, SystemSpec] = {}
+
+#: Spec modules of the bundled systems; importing one registers its system.
+_BUILTIN_SPEC_MODULES = (
+    "repro.systems.randtree.spec",
+    "repro.systems.chord.spec",
+    "repro.systems.paxos.spec",
+    "repro.systems.bulletprime.spec",
+)
+_builtins_loaded = False
+
+
+def _ensure_builtins() -> None:
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    _builtins_loaded = True
+    for module in _BUILTIN_SPEC_MODULES:
+        importlib.import_module(module)
+
+
+def check_options(system: str, options: Mapping[str, Any],
+                  allowed: Sequence[str]) -> None:
+    """Reject unknown live-run option keys instead of silently ignoring them.
+
+    Called by the bundled protocol factories so a typo'd option
+    (``fix_recoverytimer=True``) fails loudly rather than running the
+    experiment with the option silently dropped.
+    """
+    unknown = set(options) - set(allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown option(s) for a {system!r} live run: "
+            f"{sorted(unknown)} (accepted: {sorted(allowed)})")
+
+
+def register_system(spec: SystemSpec, *, replace: bool = False) -> SystemSpec:
+    """Add ``spec`` to the registry (idempotent for identical re-imports)."""
+    existing = _REGISTRY.get(spec.name)
+    if existing is not None and existing is not spec and not replace:
+        raise ValueError(f"system {spec.name!r} is already registered; "
+                         "pass replace=True to override")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister_system(name: str) -> None:
+    """Remove a registered system (no-op when absent)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_system(name: str) -> SystemSpec:
+    """Look up a registered system by name."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(spec.name for spec in list_systems()) or "<none>"
+        raise KeyError(
+            f"unknown system {name!r} (registered systems: {known})") from None
+
+
+def list_systems() -> list[SystemSpec]:
+    """All registered systems, sorted by name."""
+    _ensure_builtins()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]

@@ -1,0 +1,149 @@
+"""The structured result of every experiment: :class:`RunReport`.
+
+One report shape replaces the ad-hoc result types the entry paths used to
+return (``WorkloadResult``, ``PaxosRunResult``, bare ``report()`` dicts).
+It carries the full per-node controller statistics surface, the live
+monitor's counts, predicted-vs-avoided accounting and system-specific
+outcome fields, and serializes to JSON via
+:func:`repro.analysis.reporting.to_jsonable`.
+
+Live handles (simulator, controllers, monitor) stay available on the report
+for callers that want to poke at the run afterwards, but are excluded from
+the serialized form.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..analysis.reporting import to_jsonable
+
+#: Counter fields of ``ControllerStats`` summed into ``RunReport.totals``.
+_COUNTER_FIELDS = (
+    "ticks", "model_checker_runs", "snapshots_collected",
+    "incomplete_snapshots", "checkpoints_taken", "forced_checkpoints",
+    "checkpoint_bytes_sent", "checkpoint_requests_sent",
+    "checkpoint_responses_sent", "negative_responses_sent",
+    "violations_predicted", "steering_modified_behavior",
+    "steering_unhelpful", "filters_installed", "filters_triggered",
+    "isc_checks", "isc_blocks", "replayed_paths", "replay_reproduced",
+)
+
+
+@dataclass
+class NodeReport:
+    """Full per-node controller statistics (the complete stats surface)."""
+
+    node: str
+    mode: str
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def from_controller(cls, controller: Any) -> "NodeReport":
+        return cls(node=str(controller.addr),
+                   mode=controller.config.mode.value,
+                   stats=controller.stats.as_dict())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"node": self.node, "mode": self.mode,
+                "stats": to_jsonable(self.stats)}
+
+
+@dataclass
+class RunReport:
+    """Everything one experiment run produced."""
+
+    system: str
+    scenario: Optional[str] = None
+    mode: str = "off"
+    seed: int = 0
+    node_count: int = 0
+    simulated_seconds: float = 0.0
+    wall_clock_seconds: float = 0.0
+    churn_events: int = 0
+    nodes: list[NodeReport] = field(default_factory=list)
+    #: Live-monitor summary (events checked, inconsistent states, ...).
+    monitor: dict[str, Any] = field(default_factory=dict)
+    #: System- or scenario-specific results (chosen values, completion
+    #: times, search statistics, ...).
+    outcome: dict[str, Any] = field(default_factory=dict)
+
+    # Live handles, excluded from serialization.
+    simulator: Any = field(default=None, repr=False, compare=False)
+    controllers: dict = field(default_factory=dict, repr=False, compare=False)
+    live_monitor: Any = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------- aggregation
+
+    def total(self, counter: str) -> int:
+        """Sum one controller counter over all nodes."""
+        return sum(int(node.stats.get(counter, 0)) for node in self.nodes)
+
+    def totals(self) -> dict[str, int]:
+        """All controller counters summed over the deployment."""
+        return {name: self.total(name) for name in _COUNTER_FIELDS}
+
+    def total_predicted(self) -> int:
+        return self.total("violations_predicted")
+
+    def total_steered(self) -> int:
+        return self.total("steering_modified_behavior")
+
+    def total_unhelpful(self) -> int:
+        return self.total("steering_unhelpful")
+
+    def total_isc_blocks(self) -> int:
+        return self.total("isc_blocks")
+
+    def total_filter_triggers(self) -> int:
+        return self.total("filters_triggered")
+
+    def checkpoint_bytes(self) -> int:
+        return self.total("checkpoint_bytes_sent")
+
+    def distinct_violations_found(self) -> set[str]:
+        found: set[str] = set()
+        for node in self.nodes:
+            found |= set(node.stats.get("distinct_violations", ()))
+        return found
+
+    def live_inconsistent_states(self) -> int:
+        return int(self.monitor.get("inconsistent_states", 0))
+
+    def accounting(self) -> dict[str, int]:
+        """Predicted-vs-avoided bookkeeping (Sections 5.4.1 and 5.4.2)."""
+        steered = self.total_steered()
+        blocked = self.total_isc_blocks()
+        return {
+            "violations_predicted": self.total_predicted(),
+            "steering_modified_behavior": steered,
+            "steering_unhelpful": self.total_unhelpful(),
+            "isc_blocks": blocked,
+            "violations_avoided": steered + blocked,
+            "live_inconsistent_states": self.live_inconsistent_states(),
+        }
+
+    # ----------------------------------------------------------- serialization
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready representation (live handles excluded)."""
+        return {
+            "system": self.system,
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "seed": self.seed,
+            "node_count": self.node_count,
+            "simulated_seconds": self.simulated_seconds,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "churn_events": self.churn_events,
+            "totals": self.totals(),
+            "accounting": self.accounting(),
+            "monitor": to_jsonable(self.monitor),
+            "outcome": to_jsonable(self.outcome),
+            "nodes": [node.to_dict() for node in self.nodes],
+        }
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

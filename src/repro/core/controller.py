@@ -18,8 +18,9 @@ interface and ties together all the pieces:
 
 from __future__ import annotations
 
+import dataclasses
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
 from ..mc.global_state import GlobalState
@@ -100,6 +101,16 @@ class CrystalBallConfig:
     #: false negatives to exactly such missing checkpoints.
     reuse_cached_checkpoints: bool = True
 
+    def copy(self) -> "CrystalBallConfig":
+        """Per-controller copy: budgets and transition config are mutable
+        and must never be shared between nodes (the engine may be)."""
+        return replace(
+            self,
+            search_budget=replace(self.search_budget),
+            safety_budget=replace(self.safety_budget),
+            transition=replace(self.transition),
+        )
+
 
 @dataclass
 class ControllerStats:
@@ -125,6 +136,13 @@ class ControllerStats:
     isc_blocks: int = 0
     replayed_paths: int = 0
     replay_reproduced: int = 0
+
+    def as_dict(self) -> dict:
+        """The complete stats surface, JSON-ready (sets become sorted lists)."""
+        data = {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+        data["distinct_violations"] = sorted(data["distinct_violations"])
+        return data
 
 
 class CrystalBallController:
@@ -399,22 +417,19 @@ class CrystalBallController:
     # ------------------------------------------------------------------- reporting
 
     def report(self) -> dict:
-        """Summary used by examples and the benchmark harness."""
+        """Summary used by examples and the benchmark harness.
+
+        Emits the complete :class:`ControllerStats` surface (the historical
+        ``snapshots`` / ``distinct_properties_violated`` aliases are kept for
+        callers of the old, trimmed report).
+        """
+        stats = self.stats.as_dict()
         return {
             "node": str(self.addr),
             "mode": self.config.mode.value,
-            "ticks": self.stats.ticks,
-            "model_checker_runs": self.stats.model_checker_runs,
-            "snapshots": self.stats.snapshots_collected,
-            "violations_predicted": self.stats.violations_predicted,
-            "distinct_properties_violated": sorted(self.stats.distinct_violations),
-            "filters_installed": self.stats.filters_installed,
-            "filters_triggered": self.stats.filters_triggered,
-            "steering_modified_behavior": self.stats.steering_modified_behavior,
-            "steering_unhelpful": self.stats.steering_unhelpful,
-            "isc_checks": self.stats.isc_checks,
-            "isc_blocks": self.stats.isc_blocks,
-            "checkpoint_bytes_sent": self.stats.checkpoint_bytes_sent,
+            **stats,
+            "snapshots": stats["snapshots_collected"],
+            "distinct_properties_violated": stats["distinct_violations"],
         }
 
 
@@ -434,7 +449,10 @@ def attach_crystalball(
     targets = list(nodes) if nodes is not None else list(sim.nodes)
     for addr in targets:
         node = sim.nodes[addr]
-        controller_config = config or CrystalBallConfig()
+        # Every controller gets its own config copy: sharing one mutable
+        # CrystalBallConfig (and its SearchBudget instances) across nodes
+        # would let one node's adjustments leak into all the others.
+        controller_config = config.copy() if config is not None else CrystalBallConfig()
         controller = CrystalBallController(addr, node.protocol, properties,
                                            controller_config)
         controllers[addr] = controller

@@ -1,15 +1,21 @@
-"""Workload drivers for the live experiments.
+"""Legacy workload drivers — superseded by :mod:`repro.api`.
 
-These helpers assemble the runs the evaluation needs: a RandTree or Chord
-deployment where nodes join over time and churn resets participants, with
-optional CrystalBall controllers attached.  Both the deep-online-debugging
-experiments (Table 1) and the execution-steering experiment (Section 5.4.1)
-are built from :class:`OverlayWorkload`.
+:class:`OverlayWorkload` used to be the driver behind the live experiments
+(Table 1, Section 5.4.1).  The machinery now lives in
+:class:`repro.api.experiment.LiveRun` behind the fluent
+:class:`repro.api.Experiment` builder; this module is kept as a thin
+deprecation shim so existing imports keep working.  New code should write::
+
+    from repro.api import Experiment
+
+    report = (Experiment("randtree")
+              .nodes(6).duration(300).churn(interval=60)
+              .crystalball("steering").run())
 """
 
 from __future__ import annotations
 
-import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -22,7 +28,6 @@ from ..core.controller import (
 from ..core.monitor import LivePropertyMonitor
 from ..mc.properties import SafetyProperty
 from ..runtime.address import Address, make_addresses
-from ..runtime.churn import ChurnProcess
 from ..runtime.network import NetworkModel
 from ..runtime.protocol import Protocol
 from ..runtime.simulator import Simulator
@@ -30,7 +35,12 @@ from ..runtime.simulator import Simulator
 
 @dataclass
 class WorkloadResult:
-    """Everything the benchmarks need from one live run."""
+    """Everything the benchmarks need from one live run.
+
+    Superseded by :class:`repro.api.RunReport`, which carries the same
+    aggregation helpers plus the full per-node stats surface and JSON
+    serialization.
+    """
 
     simulator: Simulator
     controllers: dict[Address, CrystalBallController]
@@ -65,7 +75,11 @@ class WorkloadResult:
 
 @dataclass
 class OverlayWorkload:
-    """A live overlay deployment with staggered joins and churn."""
+    """Deprecated: a live overlay deployment with staggered joins and churn.
+
+    Delegates to :class:`repro.api.experiment.LiveRun`; use
+    :class:`repro.api.Experiment` instead.
+    """
 
     protocol_factory: Callable[[], Protocol]
     properties: Sequence[SafetyProperty]
@@ -83,43 +97,35 @@ class OverlayWorkload:
     max_events: int = 500_000
     address_start: int = 1
 
+    def __post_init__(self) -> None:
+        warnings.warn(
+            "OverlayWorkload is deprecated; use repro.api.Experiment "
+            "(or repro.api.LiveRun for a custom protocol factory) instead",
+            DeprecationWarning, stacklevel=3)
+
     def addresses(self) -> list[Address]:
         return make_addresses(self.node_count, start=self.address_start)
 
     def run(self) -> WorkloadResult:
-        addresses = self.addresses()
-        network = self.network or NetworkModel()
-        sim = Simulator(self.protocol_factory, network, seed=self.seed,
-                        tick_interval=self.tick_interval)
-        for addr in addresses:
-            sim.add_node(addr)
+        from ..api.experiment import LiveRun
 
-        controllers: dict[Address, CrystalBallController] = {}
-        if self.crystalball_mode is not Mode.OFF:
-            config = self.crystalball_config or CrystalBallConfig(
-                mode=self.crystalball_mode)
-            config.mode = self.crystalball_mode
-            controllers = attach_crystalball(
-                sim, self.properties, config=config, nodes=self.checker_nodes)
-
-        monitor = LivePropertyMonitor(self.properties).install(sim)
-
-        # Staggered joins: the bootstrap node first, then one node every
-        # ``join_spacing`` seconds.
-        for index, addr in enumerate(addresses):
-            sim.schedule_app(1.0 + index * self.join_spacing, addr, "join", {})
-
-        churn_events = 0
-        if self.churn_mean_interval is not None:
-            churn = ChurnProcess(nodes=addresses,
-                                 mean_interval=self.churn_mean_interval,
-                                 seed=self.seed + 7,
-                                 stop_after=self.duration * 0.9)
-            churn.install(sim)
-            sim.run(until=self.duration, max_events=self.max_events)
-            churn_events = churn.events_injected
-        else:
-            sim.run(until=self.duration, max_events=self.max_events)
-
-        return WorkloadResult(simulator=sim, controllers=controllers,
-                              monitor=monitor, churn_events=churn_events)
+        report = LiveRun(
+            protocol_factory=self.protocol_factory,
+            properties=self.properties,
+            node_count=self.node_count,
+            duration=self.duration,
+            join_spacing=self.join_spacing,
+            churn_mean_interval=self.churn_mean_interval,
+            crystalball_mode=self.crystalball_mode,
+            crystalball_config=self.crystalball_config,
+            checker_nodes=self.checker_nodes,
+            network=self.network,
+            seed=self.seed,
+            tick_interval=self.tick_interval,
+            max_events=self.max_events,
+            address_start=self.address_start,
+        ).run()
+        return WorkloadResult(simulator=report.simulator,
+                              controllers=report.controllers,
+                              monitor=report.live_monitor,
+                              churn_events=report.churn_events)

@@ -83,6 +83,39 @@ class DownloadScenario:
     max_time: float = 400.0
 
     def run(self) -> DownloadResult:
+        _, _, result = self._execute()
+        return result
+
+    def run_report(self):
+        """Run the download and return a :class:`repro.api.RunReport`."""
+        import time
+
+        from ...api.experiment import build_run_report
+
+        started = time.perf_counter()
+        sim, pieces, result = self._execute()
+        return build_run_report(
+            system="bulletprime",
+            scenario="download",
+            mode=self.crystalball_mode,
+            seed=self.seed,
+            sim=sim,
+            controllers=pieces["controllers"],
+            monitor=pieces["monitor"],
+            wall_clock_seconds=time.perf_counter() - started,
+            outcome={
+                "nodes_completed": result.nodes_completed,
+                "total_nodes": result.total_nodes,
+                "completion_fraction": result.completion_fraction(),
+                "completion_times": {str(addr): when for addr, when
+                                     in result.completion_times.items()},
+                "duration": result.duration,
+                "checkpoint_bytes": result.checkpoint_bytes,
+                "service_bytes": result.service_bytes,
+            },
+        )
+
+    def _execute(self):
         addresses = make_addresses(self.node_count, start=1)
         source = addresses[0]
         mesh = build_mesh(addresses, degree=self.mesh_degree, seed=self.seed)
@@ -117,7 +150,7 @@ class DownloadScenario:
                 completion[addr] = 0.0
         checkpoint_bytes = sum(ctrl.stats.checkpoint_bytes_sent
                                for ctrl in controllers.values())
-        return DownloadResult(
+        result = DownloadResult(
             completion_times=completion,
             duration=sim.now,
             nodes_completed=len(completion),
@@ -125,3 +158,4 @@ class DownloadScenario:
             checkpoint_bytes=checkpoint_bytes,
             service_bytes=sim.total_service_bytes(),
         )
+        return sim, {"controllers": controllers, "monitor": None}, result

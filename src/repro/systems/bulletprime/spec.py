@@ -1,0 +1,128 @@
+"""Bullet' registration with the unified experiment API."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ...api.experiment import make_search_scenario_runner, parse_mode
+from ...api.registry import (
+    ScenarioSpec,
+    SystemSpec,
+    check_options,
+    register_system,
+)
+from ...mc.global_state import GlobalState
+from ...mc.search import SearchBudget
+from ...mc.transition import TransitionConfig
+from ...runtime.address import Address
+from .properties import ALL_PROPERTIES
+from .protocol import (
+    DIFF_TIMER,
+    DRAIN_TIMER,
+    REQUEST_TIMER,
+    BulletConfig,
+    BulletPrime,
+)
+from .scenarios import DownloadScenario, build_mesh
+
+
+#: Options accepted by generic (non-scenario) Bullet' live runs.
+_LIVE_OPTIONS = ("mesh_degree", "mesh_seed", "block_count", "block_size",
+                 "fix_shadow_map")
+
+
+def _protocol_factory(addresses: Sequence[Address],
+                      options: Mapping[str, Any]):
+    check_options("bulletprime", options, _LIVE_OPTIONS)
+    mesh = build_mesh(addresses,
+                      degree=int(options.get("mesh_degree", 4)),
+                      seed=int(options.get("mesh_seed", 0)))
+    config = BulletConfig(
+        source=addresses[0],
+        mesh=mesh,
+        block_count=int(options.get("block_count", 16)),
+        block_size=int(options.get("block_size", 4096)),
+        fix_shadow_map=bool(options.get("fix_shadow_map", True)),
+    )
+    return lambda: BulletPrime(config)
+
+
+def _collect(sim) -> dict:
+    # The source starts complete (time 0.0), matching DownloadScenario.
+    completed = {str(addr): (0.0 if node.state.is_source
+                             else node.state.completed_at)
+                 for addr, node in sim.nodes.items()
+                 if node.state.completed_at is not None or node.state.is_source}
+    return {"nodes_completed": len(completed),
+            "total_nodes": len(sim.nodes),
+            "completion_times": completed,
+            "service_bytes": sim.total_service_bytes()}
+
+
+def _run_download(*, mode=None, seed: int = 0, node_count: int = 8,
+                  block_count: int = 16, block_size: int = 4096,
+                  mesh_degree: int = 4, fix_shadow_map: bool = True,
+                  max_time: float = 400.0, **_ignored):
+    scenario = DownloadScenario(
+        node_count=node_count, block_count=block_count,
+        block_size=block_size, mesh_degree=mesh_degree,
+        crystalball_mode=parse_mode(mode), fix_shadow_map=fix_shadow_map,
+        seed=seed, max_time=max_time)
+    return scenario.run_report()
+
+
+def congested_snapshot(*, fix_shadow_map: bool = False):
+    """Two-node sender/receiver snapshot with an almost-full send queue —
+    the state from which the shadow-file-map inconsistency is predictable."""
+    sender, receiver = Address(1), Address(2)
+    config = BulletConfig(source=sender,
+                          mesh={sender: (receiver,), receiver: (sender,)},
+                          block_count=8, send_queue_capacity=64,
+                          fix_shadow_map=fix_shadow_map)
+    protocol = BulletPrime(config)
+    sender_state = protocol.initial_state(sender)
+    receiver_state = protocol.initial_state(receiver)
+    sender_state.queue_bytes[receiver] = 60
+    snapshot = GlobalState.from_snapshot(
+        {sender: sender_state, receiver: receiver_state},
+        timers={sender: {DIFF_TIMER, REQUEST_TIMER, DRAIN_TIMER},
+                receiver: {DIFF_TIMER, REQUEST_TIMER, DRAIN_TIMER}})
+    return protocol, snapshot
+
+
+_run_shadow_map = make_search_scenario_runner(
+    system="bulletprime", scenario="shadow-map", properties=ALL_PROPERTIES,
+    prepare=lambda fixed: congested_snapshot(fix_shadow_map=fixed),
+    default_max_states=4000, default_max_depth=6, resets=False)
+
+
+SPEC = register_system(SystemSpec(
+    name="bulletprime",
+    summary="Bullet' file-distribution mesh (Section 5.2.3)",
+    protocol_factory=_protocol_factory,
+    properties=tuple(ALL_PROPERTIES),
+    transition_factory=lambda: TransitionConfig(enable_resets=False),
+    scenarios={
+        "download": ScenarioSpec(
+            name="download",
+            description="Figure 17 download experiment (completion CDF, "
+                        "checkpoint overhead)",
+            run=_run_download,
+            build=lambda **kw: DownloadScenario(**kw),
+        ),
+        "shadow-map": ScenarioSpec(
+            name="shadow-map",
+            description="Consequence prediction of the shadow-file-map "
+                        "inconsistency from a congested two-node snapshot",
+            run=_run_shadow_map,
+            build=congested_snapshot,
+        ),
+    },
+    default_nodes=8,
+    default_duration=300.0,
+    join_call=None,
+    supports_churn=False,
+    default_churn_interval=None,
+    search_budget_factory=lambda: SearchBudget(max_states=200, max_depth=4),
+    collect=_collect,
+))

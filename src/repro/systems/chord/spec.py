@@ -1,0 +1,77 @@
+"""Chord registration with the unified experiment API."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ...api.experiment import make_search_scenario_runner
+from ...api.registry import (
+    ScenarioSpec,
+    SystemSpec,
+    check_options,
+    register_system,
+)
+from ...mc.search import SearchBudget
+from ...mc.transition import TransitionConfig
+from ...runtime.address import Address
+from .properties import ALL_PROPERTIES
+from .protocol import Chord, ChordConfig
+from .scenarios import Figure10Scenario, Figure11Scenario
+
+#: ChordConfig fields accepted as experiment options.
+_CONFIG_OPTIONS = ("id_bits", "successor_list_size", "join_retry_period",
+                   "stabilize_period", "id_map", "fix_pred_self",
+                   "fix_ordering")
+
+
+def _protocol_factory(addresses: Sequence[Address],
+                      options: Mapping[str, Any]):
+    check_options("chord", options,
+                  _CONFIG_OPTIONS + ("fixed", "bootstrap_index"))
+    kwargs = {name: options[name] for name in _CONFIG_OPTIONS
+              if name in options}
+    if options.get("fixed"):
+        kwargs.update(fix_pred_self=True, fix_ordering=True)
+    bootstrap_index = int(options.get("bootstrap_index", 0))
+    config = ChordConfig(bootstrap=(addresses[bootstrap_index],), **kwargs)
+    return lambda: Chord(config)
+
+
+def _run_figure(scenario_cls, name: str, *, resets: bool):
+    def prepare(fixed: bool):
+        scenario = scenario_cls.build(fixed=fixed)
+        return scenario.protocol, scenario.global_state()
+
+    return make_search_scenario_runner(
+        system="chord", scenario=name, properties=ALL_PROPERTIES,
+        prepare=prepare, default_max_states=12000, default_max_depth=12,
+        resets=resets)
+
+
+SPEC = register_system(SystemSpec(
+    name="chord",
+    summary="Chord DHT (Section 5.2.2): ring stabilization inconsistencies",
+    protocol_factory=_protocol_factory,
+    properties=tuple(ALL_PROPERTIES),
+    transition_factory=lambda: TransitionConfig(enable_resets=True,
+                                                max_resets_per_node=1),
+    scenarios={
+        "figure10": ScenarioSpec(
+            name="figure10",
+            description="Consequence prediction from the Figure 10 state "
+                        "(predecessor-is-self inconsistency)",
+            run=_run_figure(Figure10Scenario, "figure10", resets=True),
+            build=Figure10Scenario.build,
+        ),
+        "figure11": ScenarioSpec(
+            name="figure11",
+            description="Consequence prediction from the Figure 11 state "
+                        "(ring-ordering violation)",
+            run=_run_figure(Figure11Scenario, "figure11", resets=False),
+            build=Figure11Scenario.build,
+        ),
+    },
+    default_nodes=6,
+    default_duration=200.0,
+    search_budget_factory=lambda: SearchBudget(max_states=400, max_depth=6),
+))

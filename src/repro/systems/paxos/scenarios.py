@@ -89,6 +89,37 @@ class Figure13Scenario:
         CrystalBall's execution steering or immediate safety check prevents
         it.
         """
+        _, _, result = self._execute()
+        return result
+
+    def run_report(self):
+        """Run the scenario and return a :class:`repro.api.RunReport`."""
+        import time
+
+        from ...api.experiment import build_run_report
+
+        started = time.perf_counter()
+        sim, pieces, result = self._execute()
+        report = build_run_report(
+            system="paxos",
+            scenario=f"figure13-bug{self.bug}",
+            mode=self.crystalball_mode,
+            seed=self.seed,
+            sim=sim,
+            controllers=pieces["controllers"],
+            monitor=pieces["monitor"],
+            wall_clock_seconds=time.perf_counter() - started,
+            outcome={
+                "bug": self.bug,
+                "violation_occurred": result.violation_occurred,
+                "chosen_values": sorted(result.chosen_values),
+                "avoided_by_steering": result.avoided_by_steering,
+                "avoided_by_isc": result.avoided_by_isc,
+            },
+        )
+        return report
+
+    def _execute(self):
         a, b, c = self.addresses
         network = NetworkModel(default_rtt=0.05, jitter=0.0, rst_loss_probability=0.0)
         sim = Simulator(self.build_protocol, network, seed=self.seed,
@@ -141,10 +172,11 @@ class Figure13Scenario:
         isc_blocks = sum(ctrl.stats.isc_blocks for ctrl in controllers.values())
         predicted = sum(ctrl.stats.violations_predicted
                         for ctrl in controllers.values())
-        return PaxosRunResult(
+        result = PaxosRunResult(
             violation_occurred=len(chosen) > 1 or monitor.inconsistent_states > 0,
             chosen_values=chosen,
             steering_filters_triggered=filters_triggered,
             isc_blocks=isc_blocks,
             violations_predicted=predicted,
         )
+        return sim, {"controllers": controllers, "monitor": monitor}, result

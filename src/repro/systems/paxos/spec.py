@@ -1,0 +1,106 @@
+"""Paxos registration with the unified experiment API."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ...api.registry import (
+    ScenarioSpec,
+    SystemSpec,
+    check_options,
+    register_system,
+)
+from ...core.controller import Mode
+from ...mc.search import SearchBudget
+from ...mc.transition import TransitionConfig
+from ...runtime.address import Address
+from .properties import ALL_PROPERTIES
+from .protocol import Paxos, PaxosConfig
+from .scenarios import Figure13Scenario
+
+
+#: Options accepted by generic (non-scenario) Paxos live runs.
+_LIVE_OPTIONS = ("bug", "value0", "value1", "second_round_at")
+
+
+def _protocol_factory(addresses: Sequence[Address],
+                      options: Mapping[str, Any]):
+    check_options("paxos", options, _LIVE_OPTIONS)
+    bug = int(options.get("bug", 0))
+    config = PaxosConfig(peers=tuple(addresses),
+                         inject_bug1=bug == 1,
+                         inject_bug2=bug == 2)
+    return lambda: Paxos(config)
+
+
+def _schedule(sim, addresses: Sequence[Address],
+              options: Mapping[str, Any]) -> None:
+    """Generic consensus workload: two competing proposals.
+
+    The first node proposes value 0 immediately; the last node submits and
+    later proposes value 1, forcing a second round.  With no injected bug
+    the agreement property holds throughout.
+    """
+    first, last = addresses[0], addresses[-1]
+    sim.schedule_app(1.0, first, "propose", {"value": options.get("value0", 0)})
+    if len(addresses) > 1:
+        sim.schedule_app(2.0, last, "submit", {"value": options.get("value1", 1)})
+        sim.schedule_app(float(options.get("second_round_at", 30.0)),
+                         last, "propose", {"value": options.get("value1", 1)})
+
+
+def _collect(sim) -> dict:
+    chosen: set[int] = set()
+    per_node: dict[str, list[int]] = {}
+    for addr, node in sim.nodes.items():
+        values = sorted(node.state.chosen_values)
+        per_node[str(addr)] = values
+        chosen |= set(values)
+    return {"chosen_values": sorted(chosen),
+            "chosen_by_node": per_node,
+            "agreement_held": len(chosen) <= 1}
+
+
+def _run_figure13(bug: int):
+    def run(*, mode=None, seed: int = 0, inter_round_delay: float = 30.0,
+            reset_b=None, **_ignored):
+        scenario = Figure13Scenario(
+            bug=bug, inter_round_delay=inter_round_delay,
+            crystalball_mode=mode if mode is not None else Mode.OFF,
+            seed=seed, reset_b=reset_b)
+        return scenario.run_report()
+    return run
+
+
+SPEC = register_system(SystemSpec(
+    name="paxos",
+    summary="Single-instance Paxos (Section 5.4.2): injected consensus bugs",
+    protocol_factory=_protocol_factory,
+    properties=tuple(ALL_PROPERTIES),
+    transition_factory=lambda: TransitionConfig(enable_resets=False),
+    scenarios={
+        "figure13-bug1": ScenarioSpec(
+            name="figure13-bug1",
+            description="Figure 13 fault-injection schedule with bug1 "
+                        "(wrong promise picked by the second leader)",
+            run=_run_figure13(1),
+            build=lambda **kw: Figure13Scenario(bug=1, **kw),
+        ),
+        "figure13-bug2": ScenarioSpec(
+            name="figure13-bug2",
+            description="Figure 13 fault-injection schedule with bug2 "
+                        "(promises lost across a reset)",
+            run=_run_figure13(2),
+            build=lambda **kw: Figure13Scenario(bug=2, **kw),
+        ),
+    },
+    default_nodes=3,
+    default_duration=60.0,
+    tick_interval=5.0,
+    join_call=None,
+    supports_churn=False,
+    default_churn_interval=None,
+    search_budget_factory=lambda: SearchBudget(max_states=500, max_depth=8),
+    schedule=_schedule,
+    collect=_collect,
+))

@@ -1,0 +1,77 @@
+"""RandTree registration with the unified experiment API."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ...api.experiment import make_search_scenario_runner
+from ...api.registry import (
+    ScenarioSpec,
+    SystemSpec,
+    check_options,
+    register_system,
+)
+from ...mc.search import SearchBudget
+from ...mc.transition import TransitionConfig
+from ...runtime.address import Address
+from .properties import ALL_PROPERTIES
+from .protocol import RandTree, RandTreeConfig
+from .scenarios import Figure2Scenario, Figure9Scenario
+
+#: RandTreeConfig fields accepted as experiment options.
+_CONFIG_OPTIONS = ("max_children", "join_retry_period", "recovery_period",
+                   "fix_update_sibling", "fix_new_root_check",
+                   "fix_clear_siblings", "fix_recovery_timer")
+
+
+def _protocol_factory(addresses: Sequence[Address],
+                      options: Mapping[str, Any]):
+    check_options("randtree", options,
+                  _CONFIG_OPTIONS + ("fixed", "bootstrap_index"))
+    kwargs = {name: options[name] for name in _CONFIG_OPTIONS
+              if name in options}
+    if options.get("fixed"):
+        kwargs.update(fix_update_sibling=True, fix_new_root_check=True,
+                      fix_clear_siblings=True, fix_recovery_timer=True)
+    bootstrap_index = int(options.get("bootstrap_index", 0))
+    config = RandTreeConfig(bootstrap=(addresses[bootstrap_index],), **kwargs)
+    return lambda: RandTree(config)
+
+
+def _run_figure(scenario_cls, name: str):
+    def prepare(fixed: bool):
+        scenario = scenario_cls.build(fixed=fixed)
+        return scenario.protocol, scenario.global_state()
+
+    return make_search_scenario_runner(
+        system="randtree", scenario=name, properties=ALL_PROPERTIES,
+        prepare=prepare, default_max_states=6000, default_max_depth=9)
+
+
+SPEC = register_system(SystemSpec(
+    name="randtree",
+    summary="Random overlay tree (Section 1.2): the paper's running example",
+    protocol_factory=_protocol_factory,
+    properties=tuple(ALL_PROPERTIES),
+    transition_factory=lambda: TransitionConfig(enable_resets=True,
+                                                max_resets_per_node=1),
+    scenarios={
+        "figure2": ScenarioSpec(
+            name="figure2",
+            description="Consequence prediction from the three-node Figure 2 "
+                        "state (children/siblings inconsistency)",
+            run=_run_figure(Figure2Scenario, "figure2"),
+            build=Figure2Scenario.build,
+        ),
+        "figure9": ScenarioSpec(
+            name="figure9",
+            description="Consequence prediction from the five-node Figure 9 "
+                        "state (root appears as a child)",
+            run=_run_figure(Figure9Scenario, "figure9"),
+            build=Figure9Scenario.build,
+        ),
+    },
+    default_nodes=6,
+    default_duration=200.0,
+    search_budget_factory=lambda: SearchBudget(max_states=400, max_depth=6),
+))

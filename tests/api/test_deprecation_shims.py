@@ -1,0 +1,46 @@
+"""The legacy entry paths keep working but warn, and delegate to the new
+machinery (so this file also passes under ``-W error::DeprecationWarning``)."""
+
+import pytest
+
+from repro.core import Mode
+from repro.sim import OverlayWorkload, WorkloadResult
+from repro.systems.randtree import ALL_PROPERTIES, RandTree, RandTreeConfig
+
+
+def _make_workload():
+    config = RandTreeConfig(bootstrap=(), max_children=2)
+    workload = OverlayWorkload(
+        protocol_factory=lambda: RandTree(config),
+        properties=ALL_PROPERTIES,
+        node_count=3,
+        duration=40.0,
+        churn_mean_interval=None,
+        crystalball_mode=Mode.OFF,
+        seed=1,
+    )
+    config.bootstrap = (workload.addresses()[0],)
+    return workload
+
+
+def test_overlay_workload_warns_on_construction():
+    with pytest.deprecated_call(match="repro.api.Experiment"):
+        _make_workload()
+
+
+def test_overlay_workload_still_runs_and_returns_workload_result():
+    with pytest.deprecated_call():
+        workload = _make_workload()
+    result = workload.run()
+    assert isinstance(result, WorkloadResult)
+    assert result.simulator.now > 0
+    assert result.monitor.events_checked > 0
+    assert result.total_predicted() == 0  # CrystalBall was off
+    assert result.churn_events == 0
+
+
+def test_legacy_import_paths_still_work():
+    from repro.sim import workload
+
+    assert workload.OverlayWorkload is OverlayWorkload
+    assert workload.WorkloadResult is WorkloadResult

@@ -1,0 +1,211 @@
+"""Builder-vs-legacy equivalence: the fluent Experiment reproduces the old
+entry paths bit-for-bit at equal seeds."""
+
+import warnings
+
+import pytest
+
+from repro.api import Experiment, get_system
+from repro.core import CrystalBallConfig, Mode
+from repro.mc import SearchBudget, TransitionConfig
+from repro.runtime import NetworkModel
+from repro.sim import OverlayWorkload
+from repro.systems.paxos import Figure13Scenario
+from repro.systems.randtree import ALL_PROPERTIES, RandTree, RandTreeConfig
+
+
+def _legacy_randtree(seed):
+    addresses_holder = {}
+    config = RandTreeConfig(max_children=2)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        workload = OverlayWorkload(
+            protocol_factory=lambda: RandTree(config),
+            properties=ALL_PROPERTIES,
+            node_count=4,
+            duration=120.0,
+            churn_mean_interval=50.0,
+            crystalball_mode=Mode.DEBUG,
+            crystalball_config=CrystalBallConfig(
+                mode=Mode.DEBUG,
+                search_budget=SearchBudget(max_states=200, max_depth=5),
+                transition=TransitionConfig(enable_resets=True,
+                                            max_resets_per_node=1),
+            ),
+            network=NetworkModel(rst_loss_probability=0.6),
+            seed=seed,
+            max_events=100_000,
+        )
+        config.bootstrap = (workload.addresses()[0],)
+        return workload.run()
+
+
+def _builder_randtree(seed):
+    return (Experiment("randtree")
+            .nodes(4)
+            .duration(120.0)
+            .churn(interval=50.0)
+            .network(rst_loss=0.6)
+            .crystalball("debug",
+                         budget=SearchBudget(max_states=200, max_depth=5))
+            .options(max_children=2)
+            .max_events(100_000)
+            .seed(seed)
+            .run())
+
+
+def test_builder_matches_overlay_workload_at_equal_seed():
+    legacy = _legacy_randtree(seed=9)
+    report = _builder_randtree(seed=9)
+    assert report.churn_events == legacy.churn_events
+    assert report.live_monitor.inconsistent_states \
+        == legacy.monitor.inconsistent_states
+    assert report.total_predicted() == legacy.total_predicted()
+    assert report.distinct_violations_found() \
+        == legacy.distinct_violations_found()
+    assert report.checkpoint_bytes() == legacy.checkpoint_bytes()
+
+
+def test_builder_is_deterministic_across_runs():
+    first = _builder_randtree(seed=3)
+    second = _builder_randtree(seed=3)
+    assert first.totals() == second.totals()
+    assert first.monitor == second.monitor
+
+
+def test_paxos_scenario_matches_legacy_driver():
+    legacy = Figure13Scenario(bug=1, inter_round_delay=15.0,
+                              crystalball_mode=Mode.OFF, seed=21).run()
+    report = (Experiment("paxos")
+              .scenario("figure13-bug1")
+              .mode(Mode.OFF)
+              .seed(21)
+              .options(inter_round_delay=15.0)
+              .run())
+    assert report.outcome["violation_occurred"] == legacy.violation_occurred
+    assert report.outcome["chosen_values"] == sorted(legacy.chosen_values)
+    assert report.system == "paxos"
+    assert report.scenario == "figure13-bug1"
+
+
+def test_ticks_convert_to_duration_via_tick_interval():
+    experiment = Experiment("randtree").ticks(5)
+    assert experiment._duration == 5 * get_system("randtree").tick_interval
+
+
+def test_churn_rate_maps_to_interval():
+    experiment = Experiment("randtree").churn(rate=0.1)
+    assert experiment._churn_interval == pytest.approx(10.0)
+    experiment.churn(False)
+    assert experiment._churn_interval is None
+
+
+def test_mode_parsing_accepts_strings_and_rejects_garbage():
+    assert Experiment("randtree").mode("isc_only")._mode is Mode.ISC_ONLY
+    assert Experiment("randtree").mode("steering")._mode is Mode.STEERING
+    with pytest.raises(ValueError, match="unknown mode"):
+        Experiment("randtree").mode("turbo")
+
+
+def test_unknown_scenario_fails_fast():
+    with pytest.raises(KeyError, match="known scenarios"):
+        Experiment("chord").scenario("figure99")
+
+
+def test_scenario_run_honors_builder_budget():
+    report = (Experiment("randtree").scenario("figure2")
+              .crystalball("debug",
+                           budget=SearchBudget(max_states=100, max_depth=5))
+              .run())
+    assert report.outcome["states_visited"] <= 110, \
+        "an explicit builder budget must reach the scenario search"
+
+
+def test_scenario_run_warns_about_unsupported_builder_settings():
+    experiment = (Experiment("randtree").scenario("figure2")
+                  .network(rst_loss=0.5)
+                  .options(max_states=500))
+    with pytest.warns(UserWarning, match="ignores these builder settings"):
+        experiment.run()
+
+
+def test_crystalball_rejects_config_plus_individual_settings():
+    with pytest.raises(ValueError, match="not both"):
+        Experiment("randtree").crystalball(
+            "debug", config=CrystalBallConfig(),
+            budget=SearchBudget(max_states=10))
+
+
+def test_run_does_not_mutate_caller_config():
+    config = CrystalBallConfig(mode=Mode.DEBUG,
+                               search_budget=SearchBudget(max_states=50,
+                                                          max_depth=3))
+    (Experiment("randtree").nodes(3).duration(30.0).churn(False)
+     .crystalball("steering", config=config).run())
+    assert config.mode is Mode.DEBUG, \
+        "the caller's config object must not be mutated by the run"
+
+
+def test_scenario_run_warns_when_nodes_cannot_be_honored():
+    # The Figure 13 runner scripts its own three-node deployment.
+    experiment = (Experiment("paxos").scenario("figure13-bug1")
+                  .nodes(5).options(inter_round_delay=10.0))
+    with pytest.warns(UserWarning, match="nodes"):
+        report = experiment.run()
+    assert report.node_count == 3
+
+
+def test_offline_search_scenario_warns_about_steering_mode():
+    experiment = (Experiment("randtree").scenario("figure2")
+                  .mode("steering").options(max_states=200))
+    with pytest.warns(UserWarning, match="no effect"):
+        experiment.run()
+
+
+def test_scenario_run_honors_budget_from_explicit_config():
+    report = (Experiment("randtree").scenario("figure2")
+              .crystalball("debug", config=CrystalBallConfig(
+                  search_budget=SearchBudget(max_states=100, max_depth=5)))
+              .run())
+    assert report.outcome["states_visited"] <= 110
+
+
+def test_crystalball_config_mode_is_respected_by_default():
+    experiment = Experiment("randtree").crystalball(
+        config=CrystalBallConfig(mode=Mode.STEERING))
+    assert experiment._mode is Mode.STEERING
+    # An explicit mode argument still wins.
+    explicit = Experiment("randtree").crystalball(
+        "debug", config=CrystalBallConfig(mode=Mode.STEERING))
+    assert explicit._mode is Mode.DEBUG
+
+
+def test_unknown_scenario_option_raises():
+    with pytest.raises(ValueError, match="fixd"):
+        (Experiment("randtree").scenario("figure2")
+         .options(fixd=True).run())
+
+
+def test_generic_bullet_run_reports_sortable_completion_times():
+    report = (Experiment("bulletprime").nodes(4).duration(120.0)
+              .options(block_count=8).seed(1).run())
+    times = sorted(report.outcome["completion_times"].values())
+    assert times and times[0] == 0.0, "the source completes at time zero"
+
+
+def test_unknown_live_run_option_raises():
+    with pytest.raises(ValueError, match="fix_recoverytimer"):
+        (Experiment("randtree").nodes(3).duration(20.0).churn(False)
+         .options(fix_recoverytimer=True).run())
+
+
+def test_scenario_run_produces_search_outcome():
+    report = (Experiment("randtree").scenario("figure2")
+              .options(max_states=3000, max_depth=8).run())
+    assert report.outcome["states_visited"] > 0
+    assert "randtree.children_siblings_disjoint" \
+        in report.outcome["properties_violated"]
+    fixed = (Experiment("randtree").scenario("figure2")
+             .options(fixed=True, max_states=3000, max_depth=8).run())
+    assert "randtree.children_siblings_disjoint" \
+        not in fixed.outcome["properties_violated"]

@@ -1,63 +1,52 @@
 """Integration tests: CrystalBall attached to live simulated deployments."""
 
-import pytest
-
-from repro.core import CrystalBallConfig, Mode
-from repro.mc import SearchBudget, TransitionConfig
-from repro.runtime import NetworkModel
-from repro.sim import OverlayWorkload
-from repro.systems.paxos import Figure13Scenario
-from repro.systems.randtree import ALL_PROPERTIES, RandTree, RandTreeConfig
+from repro.api import Experiment
+from repro.core import Mode
+from repro.mc import SearchBudget
 
 
-def _randtree_workload(mode, seed=9, duration=200.0, nodes=5):
-    config = RandTreeConfig(max_children=2, fix_recovery_timer=True)
-    workload = OverlayWorkload(
-        protocol_factory=lambda: RandTree(config),
-        properties=ALL_PROPERTIES,
-        node_count=nodes,
-        duration=duration,
-        churn_mean_interval=50.0,
-        crystalball_mode=mode,
-        crystalball_config=CrystalBallConfig(
-            mode=mode,
-            search_budget=SearchBudget(max_states=300, max_depth=6),
-            transition=TransitionConfig(enable_resets=True, max_resets_per_node=1),
-        ),
-        network=NetworkModel(rst_loss_probability=0.6),
-        seed=seed,
-        max_events=120_000,
-    )
+def _randtree_experiment(mode, seed=9, duration=200.0, nodes=5):
     # Bootstrap through the second-smallest node so root handovers occur
     # (the Figure 2 topology); the recovery-timer bug is assumed fixed so the
     # steerable inconsistencies are the remaining ones.
-    workload.protocol_factory = lambda: RandTree(RandTreeConfig(
-        bootstrap=(workload.addresses()[1],), max_children=2,
-        fix_recovery_timer=True))
-    return workload.run()
+    return (Experiment("randtree")
+            .nodes(nodes)
+            .duration(duration)
+            .churn(interval=50.0)
+            .network(rst_loss=0.6)
+            .crystalball(mode,
+                         budget=SearchBudget(max_states=300, max_depth=6))
+            .options(bootstrap_index=1, max_children=2,
+                     fix_recovery_timer=True)
+            .max_events(120_000)
+            .seed(seed)
+            .run())
 
 
 def test_deep_online_debugging_finds_randtree_inconsistencies():
-    result = _randtree_workload(Mode.DEBUG)
-    assert result.total_predicted() > 0
-    found = result.distinct_violations_found()
+    report = _randtree_experiment(Mode.DEBUG)
+    assert report.total_predicted() > 0
+    found = report.distinct_violations_found()
     assert any(name.startswith("randtree.") for name in found)
     # Checkpoint traffic flowed between the nodes.
-    assert result.checkpoint_bytes() > 0
+    assert report.checkpoint_bytes() > 0
 
 
 def test_execution_steering_changes_behavior_in_live_run():
-    result = _randtree_workload(Mode.STEERING)
-    acted = (result.total_predicted() + result.total_steered()
-             + result.total_isc_blocks() + result.total_filter_triggers())
+    report = _randtree_experiment(Mode.STEERING)
+    acted = (report.total_predicted() + report.total_steered()
+             + report.total_isc_blocks() + report.total_filter_triggers())
     assert acted > 0
 
 
 def test_paxos_bug1_violation_without_crystalball_and_avoidance_with():
-    baseline = Figure13Scenario(bug=1, inter_round_delay=15.0,
-                                crystalball_mode=Mode.OFF, seed=21).run()
-    assert baseline.violation_occurred
-    steered = Figure13Scenario(bug=1, inter_round_delay=15.0,
-                               crystalball_mode=Mode.STEERING, seed=21).run()
-    assert not steered.violation_occurred
-    assert steered.avoided_by_steering or steered.avoided_by_isc
+    baseline = (Experiment("paxos").scenario("figure13-bug1")
+                .mode(Mode.OFF).seed(21)
+                .options(inter_round_delay=15.0).run())
+    assert baseline.outcome["violation_occurred"]
+    steered = (Experiment("paxos").scenario("figure13-bug1")
+               .mode(Mode.STEERING).seed(21)
+               .options(inter_round_delay=15.0).run())
+    assert not steered.outcome["violation_occurred"]
+    assert steered.outcome["avoided_by_steering"] \
+        or steered.outcome["avoided_by_isc"]
