@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Bench regression gate: fail CI when parallel-engine speedup regresses.
+
+Compares a freshly measured ``BENCH_parallel_speedup.json`` record (written
+by ``benchmarks/bench_parallel_speedup.py``, typically in quick mode)
+against the committed baseline at the repository root.  The gate is on the
+*relative* speedup of the widest parallel configuration vs the serial
+engine: a drop of more than ``--threshold`` (default 30%) fails.
+
+Usage::
+
+    python scripts/check_speedup_regression.py NEW.json [--baseline BASE.json]
+        [--threshold 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def widest_parallel_speedup(record: dict) -> tuple[int, float]:
+    """(workers, speedup_vs_serial) of the widest parallel engine."""
+    parallel = [e for e in record["engines"] if e["workers"] > 1]
+    if not parallel:
+        raise SystemExit("record has no parallel engine entries")
+    widest = max(parallel, key=lambda e: e["workers"])
+    return widest["workers"], float(widest["speedup_vs_serial"])
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new", type=Path,
+                        help="freshly measured BENCH_parallel_speedup.json")
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_parallel_speedup.json",
+                        help="committed baseline record")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="maximum tolerated relative regression")
+    args = parser.parse_args(argv)
+
+    new = json.loads(args.new.read_text())
+    baseline = json.loads(args.baseline.read_text())
+
+    new_workers, new_speedup = widest_parallel_speedup(new)
+    base_workers, base_speedup = widest_parallel_speedup(baseline)
+    floor = base_speedup * (1.0 - args.threshold)
+
+    new_cpus = int(new.get("cpu_count") or 1)
+    base_cpus = int(baseline.get("cpu_count") or 1)
+
+    print(f"baseline: parallel:{base_workers} speedup {base_speedup:.3f} "
+          f"(cpu_count {baseline.get('cpu_count')}, "
+          f"depth {baseline.get('max_depth')})")
+    print(f"measured: parallel:{new_workers} speedup {new_speedup:.3f} "
+          f"(cpu_count {new_cpus}, depth {new.get('max_depth')}, "
+          f"quick={new.get('quick', False)})")
+    print(f"floor at -{args.threshold:.0%}: {floor:.3f}")
+
+    # Cross-environment comparisons are weak evidence: a baseline recorded
+    # on fewer cores (where the parallel engine is legitimately slower
+    # than serial) yields a floor a multi-core regression can sail over.
+    # Surface that loudly — and advise, without failing on an unvalidated
+    # absolute bar, when a parallel-capable host is below serial parity.
+    # Re-recording the baseline on a host like the CI runner (run the
+    # bench without CB_SPEEDUP_RESULT and commit the JSON) tightens this
+    # gate to a like-for-like comparison automatically.
+    if new_cpus != base_cpus:
+        print(f"note: baseline cpu_count {base_cpus} != measured cpu_count "
+              f"{new_cpus}; the relative floor is weak evidence until the "
+              f"baseline is re-recorded on this class of host")
+    if new_cpus >= 4 and new_speedup < 1.0:
+        print(f"warning: host has {new_cpus} CPUs but parallel ran at "
+              f"{new_speedup:.3f}x serial — investigate even though the "
+              f"baseline-relative gate passes")
+
+    if new_speedup < floor:
+        print(f"FAIL: speedup {new_speedup:.3f} regressed more than "
+              f"{args.threshold:.0%} below the baseline {base_speedup:.3f}",
+              file=sys.stderr)
+        return 1
+    print("OK: no speedup regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -53,6 +53,13 @@ def render_run_report(report: Any) -> str:
     if accounting:
         lines.append("accounting: " + "  ".join(
             f"{key}={value}" for key, value in accounting.items()))
+    faults = data.get("faults", {})
+    if faults:
+        by_type = faults.get("by_type", {})
+        parts = [f"injected={faults.get('faults_injected', 0)}"]
+        parts += [f"{name}={counts.get('injected', 0)}"
+                  for name, counts in sorted(by_type.items())]
+        lines.append("faults: " + "  ".join(parts))
     monitor = data.get("monitor", {})
     if monitor:
         lines.append("monitor: " + "  ".join(

@@ -14,6 +14,7 @@ from .experiment import (
     Experiment,
     LiveRun,
     build_run_report,
+    make_fault_scenario_runner,
     make_search_scenario_runner,
     parse_mode,
     report_from_search,
@@ -33,6 +34,7 @@ __all__ = [
     "Experiment",
     "LiveRun",
     "build_run_report",
+    "make_fault_scenario_runner",
     "make_search_scenario_runner",
     "parse_mode",
     "report_from_search",

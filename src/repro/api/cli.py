@@ -41,6 +41,10 @@ def build_parser() -> argparse.ArgumentParser:
     list_cmd.add_argument("--json", action="store_true", dest="as_json",
                           help="machine-readable output")
 
+    faults_cmd = sub.add_parser("faults", help="list fault-injection presets")
+    faults_cmd.add_argument("--json", action="store_true", dest="as_json",
+                            help="machine-readable output")
+
     run = sub.add_parser("run", help="run one system or scripted scenario")
     run.add_argument("system", help="registered system name (see `list`)")
     run.add_argument("--scenario", default=None,
@@ -64,6 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--churn-interval", type=float, default=None,
                      help="mean seconds between churn events")
     run.add_argument("--no-churn", action="store_true", help="disable churn")
+    run.add_argument("--faults", metavar="PRESET", action="append", default=[],
+                     help="fault preset(s) to inject, comma-separable and "
+                          "repeatable (see `python -m repro faults`)")
+    run.add_argument("--fault-seed", type=int, default=None,
+                     help="nemesis seed (defaults to run seed + 13)")
+    run.add_argument("--fail-on-violation", action="store_true",
+                     help="exit non-zero when the run observes a safety "
+                          "violation (live monitor or scenario outcome)")
     run.add_argument("--option", metavar="KEY=VALUE", type=_parse_option,
                      action="append", default=[],
                      help="system/scenario-specific option (repeatable)")
@@ -92,6 +104,24 @@ def _cmd_list(as_json: bool) -> int:
                      ", ".join(sorted(spec.scenarios)) or "-", spec.summary])
     print(format_table(["system", "properties", "scenarios", "summary"], rows,
                        title="Registered systems (python -m repro run <system>)"))
+    return 0
+
+
+def _cmd_faults(as_json: bool) -> int:
+    from ..faults.presets import PRESETS
+
+    # Expand with a nominal duration purely to describe the composition.
+    expansions = {name: factory(100.0) for name, factory in sorted(PRESETS.items())}
+    if as_json:
+        payload = {name: [fault.name for fault in faults]
+                   for name, faults in expansions.items()}
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    rows = [[name, ", ".join(fault.name for fault in faults)]
+            for name, faults in expansions.items()]
+    print(format_table(["preset", "fault types"], rows,
+                       title="Fault presets (python -m repro run <system> "
+                             "--faults <preset>)"))
     return 0
 
 
@@ -145,6 +175,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif args.churn_interval is not None:
         experiment.churn(interval=args.churn_interval)
 
+    if args.faults:
+        presets = [name for chunk in args.faults
+                   for name in chunk.split(",") if name]
+        experiment.faults(*presets, seed=args.fault_seed)
+    elif args.fault_seed is not None:
+        # No preset on the command line, but fault scenarios still honor
+        # the nemesis seed.
+        experiment.faults(seed=args.fault_seed)
+
     if args.option:
         experiment.options(**dict(args.option))
 
@@ -159,6 +198,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(report.to_json())
     else:
         print(render_run_report(report))
+    if args.fail_on_violation and report.violations_observed() > 0:
+        print(f"error: run observed {report.violations_observed()} safety "
+              f"violation(s) (--fail-on-violation)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -166,6 +209,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list(args.as_json)
+    if args.command == "faults":
+        return _cmd_faults(args.as_json)
     return _cmd_run(args)
 
 

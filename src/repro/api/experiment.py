@@ -35,6 +35,9 @@ from ..core.controller import (
     attach_crystalball,
 )
 from ..core.monitor import LivePropertyMonitor
+from ..faults.base import Fault
+from ..faults.nemesis import Nemesis
+from ..faults.presets import make_nemesis
 from ..mc.properties import SafetyProperty
 from ..mc.search import SearchBudget, SearchResult
 from ..mc.transition import TransitionConfig, TransitionSystem
@@ -72,6 +75,7 @@ def build_run_report(
     churn_events: int = 0,
     wall_clock_seconds: float = 0.0,
     outcome: Optional[dict] = None,
+    nemesis: Optional[Nemesis] = None,
 ) -> RunReport:
     """Assemble a :class:`RunReport` from the live objects of one run."""
     return RunReport(
@@ -87,6 +91,7 @@ def build_run_report(
                for addr in sorted(controllers)],
         monitor=monitor.report() if monitor is not None else {},
         outcome=outcome or {},
+        faults=nemesis.report() if nemesis is not None else {},
         simulator=sim,
         controllers=dict(controllers),
         live_monitor=monitor,
@@ -183,6 +188,51 @@ def make_search_scenario_runner(
     return run
 
 
+def make_fault_scenario_runner(
+    *,
+    system: str,
+    faults: Sequence[Union[str, "Fault"]] = (),
+    faults_factory: Optional[
+        Callable[[float, Sequence[Address]], Sequence[Union[str, "Fault"]]]] = None,
+    default_nodes: int = 6,
+    default_duration: float = 200.0,
+    churn: bool = False,
+    options: Optional[Mapping[str, Any]] = None,
+) -> Callable[..., "RunReport"]:
+    """Build a :class:`~repro.api.registry.ScenarioSpec` runner for a named
+    live fault scenario.
+
+    The runner drives a generic live run of ``system`` with a nemesis built
+    from ``faults`` (preset names / instances) plus whatever
+    ``faults_factory(duration, addresses)`` contributes — the factory hook
+    exists for faults that target specific members, e.g. crashing the Paxos
+    proposer.  Churn is off by default so the named faults are the only
+    adversary and the schedule is reproducible from the seed alone.
+    """
+
+    def run(*, mode=None, seed: int = 0,
+            node_count: int = default_nodes,
+            max_time: float = default_duration,
+            fault_seed: Optional[int] = None,
+            **_ignored) -> "RunReport":
+        experiment = (Experiment(system)
+                      .nodes(node_count)
+                      .duration(max_time)
+                      .seed(seed)
+                      .mode(parse_mode(mode))
+                      .churn(churn))
+        fault_list: list[Union[str, Fault]] = list(faults)
+        if faults_factory is not None:
+            fault_list.extend(
+                faults_factory(max_time, make_addresses(node_count)))
+        experiment.faults(*fault_list, seed=fault_seed)
+        if options:
+            experiment.options(**options)
+        return experiment.run()
+
+    return run
+
+
 @dataclass
 class LiveRun:
     """A live deployment: staggered joins, optional churn, CrystalBall.
@@ -206,6 +256,13 @@ class LiveRun:
     seed: int = 0
     tick_interval: float = 10.0
     max_events: int = 500_000
+    #: Fault injection: preset names and/or Fault instances expanded into a
+    #: seeded Nemesis for this run (see repro.faults).
+    faults: Sequence[Union[str, Fault]] = ()
+    #: Nemesis seed; None derives it from the run seed.
+    fault_seed: Optional[int] = None
+    #: Quiet period before the first fault (defaults to one join round).
+    fault_start_after: Optional[float] = None
     address_start: int = 1
     #: application call used for staggered joins; None skips join scheduling.
     join_call: Optional[str] = "join"
@@ -243,6 +300,20 @@ class LiveRun:
 
         monitor = LivePropertyMonitor(self.properties).install(sim)
 
+        nemesis: Optional[Nemesis] = None
+        if self.faults:
+            start_after = (self.fault_start_after
+                           if self.fault_start_after is not None
+                           else min(self.node_count * self.join_spacing,
+                                    self.duration * 0.1))
+            nemesis = make_nemesis(
+                self.faults,
+                duration=self.duration,
+                seed=(self.fault_seed if self.fault_seed is not None
+                      else self.seed + 13),
+                start_after=start_after,
+            ).install(sim)
+
         if self.schedule is not None:
             self.schedule(sim, addresses, self.options)
         elif self.join_call is not None:
@@ -264,6 +335,11 @@ class LiveRun:
         else:
             sim.run(until=self.duration, max_events=self.max_events)
 
+        if nemesis is not None:
+            # Strip still-open fault windows so a caller-supplied network
+            # model carries no residue into the next run.
+            nemesis.teardown(sim)
+
         outcome = self.collect(sim) if self.collect is not None else {}
         return build_run_report(
             system=self.system_name,
@@ -276,6 +352,7 @@ class LiveRun:
             churn_events=churn_events,
             wall_clock_seconds=time.perf_counter() - started,
             outcome=outcome,
+            nemesis=nemesis,
         )
 
 
@@ -297,6 +374,9 @@ class Experiment:
                                 if self._spec.supports_churn else None)
         self._scenario: Optional[str] = None
         self._options: dict[str, Any] = {}
+        self._faults: list[Union[str, Fault]] = []
+        self._fault_seed: Optional[int] = None
+        self._fault_start_after: Optional[float] = None
         self._properties: Optional[Sequence[SafetyProperty]] = None
         self._max_events = 500_000
         #: builder knobs the caller set explicitly (used to forward what a
@@ -376,6 +456,39 @@ class Experiment:
             self._churn_interval = float(interval)
         elif self._churn_interval is None:
             self._churn_interval = self._spec.default_churn_interval or 60.0
+        return self
+
+    def faults(self, *faults: Union[str, Fault],
+               partition_every: Optional[float] = None,
+               heal_after: Optional[float] = None,
+               seed: Optional[int] = None,
+               start_after: Optional[float] = None) -> "Experiment":
+        """Inject faults during the run (see :mod:`repro.faults`).
+
+        Positional arguments are preset names (``"partition"``,
+        ``"chaos"``, ...) and/or explicit :class:`~repro.faults.Fault`
+        instances.  ``partition_every``/``heal_after`` are a shorthand for
+        the most common adversary::
+
+            Experiment("paxos").faults(partition_every=120, heal_after=20)
+
+        ``seed`` fixes the nemesis seed independently of the run seed;
+        ``start_after`` delays the first injection.
+        """
+        from ..faults.types import Partition
+
+        if faults or partition_every is not None:
+            self._explicit.add("faults")
+        self._faults.extend(faults)
+        if partition_every is not None:
+            self._faults.append(
+                Partition(every=partition_every, duration=heal_after))
+        elif heal_after is not None:
+            raise ValueError("heal_after needs partition_every")
+        if seed is not None:
+            self._fault_seed = int(seed)
+        if start_after is not None:
+            self._fault_start_after = float(start_after)
         return self
 
     def crystalball(self, mode: Union[Mode, str, None] = None, *,
@@ -486,7 +599,7 @@ class Experiment:
         unsupported = self._explicit & {
             "network", "churn", "engine", "portfolio", "max_events",
             "properties", "transition", "immediate_check",
-            "check_filter_safety", "checker_nodes"}
+            "check_filter_safety", "checker_nodes", "faults"}
 
         def forward(setting: str, key: str, value: Any) -> None:
             if key in named:
@@ -506,6 +619,9 @@ class Experiment:
                 forward("budget", "max_states", budget.max_states)
             if budget.max_depth is not None:
                 forward("budget", "max_depth", budget.max_depth)
+        if self._fault_seed is not None:
+            # Fault scenarios accept the nemesis seed; anything else warns.
+            forward("fault_seed", "fault_seed", self._fault_seed)
         if unsupported:
             warnings.warn(
                 f"scenario {self._scenario!r} runs a scripted schedule and "
@@ -539,6 +655,9 @@ class Experiment:
             seed=self._seed,
             tick_interval=self._tick_interval,
             max_events=self._max_events,
+            faults=tuple(self._faults),
+            fault_seed=self._fault_seed,
+            fault_start_after=self._fault_start_after,
             join_call=self._spec.join_call,
             schedule=self._spec.schedule,
             collect=self._spec.collect,

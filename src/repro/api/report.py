@@ -69,6 +69,9 @@ class RunReport:
     #: System- or scenario-specific results (chosen values, completion
     #: times, search statistics, ...).
     outcome: dict[str, Any] = field(default_factory=dict)
+    #: Nemesis summary: injected-fault count, per-fault-type breakdown and
+    #: the (bounded) schedule of fault events (see repro.faults).
+    faults: dict[str, Any] = field(default_factory=dict)
 
     # Live handles, excluded from serialization.
     simulator: Any = field(default=None, repr=False, compare=False)
@@ -112,6 +115,30 @@ class RunReport:
     def live_inconsistent_states(self) -> int:
         return int(self.monitor.get("inconsistent_states", 0))
 
+    def faults_injected(self) -> int:
+        """Number of fault events the nemesis actually injected."""
+        return int(self.faults.get("faults_injected", 0))
+
+    def fault_breakdown(self) -> dict[str, Any]:
+        """Per-fault-type ``{injected, healed, skipped}`` counts."""
+        return dict(self.faults.get("by_type", {}))
+
+    def violations_observed(self) -> int:
+        """Safety violations this run actually hit (not merely predicted).
+
+        Counts the live monitor's inconsistent states plus the violations
+        offline searches put in ``outcome`` — the quantity
+        ``--fail-on-violation`` gates on.  The scripted scenarios'
+        ``violation_occurred`` flag is partially derived from the same
+        monitor counts, so it only contributes when nothing else did
+        (e.g. Paxos disagreement without a monitor-flagged state).
+        """
+        count = self.live_inconsistent_states()
+        count += int(self.outcome.get("violations") or 0)
+        if count == 0 and self.outcome.get("violation_occurred"):
+            count = 1
+        return count
+
     def accounting(self) -> dict[str, int]:
         """Predicted-vs-avoided bookkeeping (Sections 5.4.1 and 5.4.2)."""
         steered = self.total_steered()
@@ -140,6 +167,7 @@ class RunReport:
             "churn_events": self.churn_events,
             "totals": self.totals(),
             "accounting": self.accounting(),
+            "faults": to_jsonable(self.faults),
             "monitor": to_jsonable(self.monitor),
             "outcome": to_jsonable(self.outcome),
             "nodes": [node.to_dict() for node in self.nodes],

@@ -1,0 +1,129 @@
+"""Fault-injection primitives: the :class:`Fault` contract.
+
+CrystalBall's evaluation exercises the systems under adverse conditions —
+network partitions, message delay and reordering, crash-recovery resets
+(Sections 5.4.1/5.4.2 run churn and the Figure 13 fault schedule).  A
+:class:`Fault` is one such adversity, described declaratively: *when* it
+fires (one-shot ``at`` or periodic ``every``), *how long* it lasts
+(``duration``, after which :meth:`Fault.heal` undoes it), and *what* it does
+(:meth:`Fault.inject`).  The :class:`~repro.faults.nemesis.Nemesis`
+scheduler owns the timing and bookkeeping so that a fault schedule is fully
+determined by the nemesis seed.
+
+Message-level faults (delay, reorder, duplication) act through
+:class:`MessageInterceptor` objects installed on
+:class:`~repro.runtime.network.NetworkModel`: the simulator asks the network
+model for a *delivery plan* (a list of delivery latencies, empty = dropped)
+for every transmitted message, and each installed interceptor may transform
+that plan.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..runtime.address import Address
+from ..runtime.messages import Message
+from ..runtime.simulator import Simulator
+
+
+@dataclass
+class FaultRecord:
+    """One fault event that actually happened during a run."""
+
+    time: float
+    fault: str
+    kind: str  # "inject" | "heal" | "skip"
+    detail: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"time": round(self.time, 3), "fault": self.fault,
+                "kind": self.kind, "detail": dict(self.detail)}
+
+
+@dataclass
+class Fault:
+    """Base class for injectable faults.
+
+    Parameters
+    ----------
+    at:
+        Absolute (nemesis-relative) time of a one-shot injection.
+    every:
+        Period of a recurring injection; mutually exclusive with ``at``.
+    duration:
+        How long the fault stays active before :meth:`heal` is called.
+        ``None`` means the fault is instantaneous (e.g. a reset) or
+        permanent (nothing to undo).
+    """
+
+    at: Optional[float] = None
+    every: Optional[float] = None
+    duration: Optional[float] = None
+
+    #: Human-readable fault-type name used in records and breakdowns.
+    name = "fault"
+
+    def __post_init__(self) -> None:
+        if (self.at is None) == (self.every is None):
+            raise ValueError(
+                f"{type(self).__name__} needs exactly one of at= (one-shot) "
+                f"or every= (periodic)")
+        if self.every is not None and self.every <= 0:
+            raise ValueError("every must be positive")
+        if self.duration is not None and self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    # -- target selection helpers -------------------------------------------------
+
+    @staticmethod
+    def alive_addresses(sim: Simulator, *, spare: int = 0) -> list[Address]:
+        """Alive node addresses, optionally sparing the first ``spare``
+        (bootstrap / source) nodes from being targeted."""
+        alive = sorted(addr for addr, node in sim.nodes.items() if node.alive)
+        protected = set(sorted(sim.nodes)[:spare])
+        return [addr for addr in alive if addr not in protected]
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def inject(self, sim: Simulator, rng: random.Random) -> Optional[dict]:
+        """Apply the fault; return a detail dict for the record, or ``None``
+        when no eligible target exists (recorded as a skip)."""
+        raise NotImplementedError
+
+    def heal(self, sim: Simulator) -> Optional[dict]:
+        """Undo the fault (called ``duration`` after a successful inject)."""
+        return None
+
+    def cleanup(self, sim: Simulator) -> None:
+        """Undo any still-active effect when the run ends.
+
+        Heals scheduled past the simulation horizon never execute, so a
+        window still open at the end would otherwise leave residue
+        (interceptors, cut links) on a possibly caller-supplied
+        :class:`~repro.runtime.network.NetworkModel`.  The default drains
+        :meth:`heal` until it reports nothing left to undo.
+        """
+        for _ in range(1024):  # every heal undoes one injection; bounded
+            if self.heal(sim) is None:
+                return
+
+
+class MessageInterceptor:
+    """Transforms the delivery plan of transmitted messages.
+
+    ``transform`` receives the message, the current plan (a list of delivery
+    latencies in seconds; one entry per copy that will be delivered, empty
+    meaning the message is dropped) and the simulator RNG, and returns the
+    new plan.  Interceptors compose: the network model threads the plan
+    through every installed interceptor in order.
+    """
+
+    #: Messages intercepted (for fault detail accounting).
+    affected: int = 0
+
+    def transform(self, message: Message, plan: list[float],
+                  rng: random.Random) -> list[float]:
+        raise NotImplementedError

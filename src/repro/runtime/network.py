@@ -11,9 +11,13 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Optional
+from typing import TYPE_CHECKING, Callable, Iterable, Optional
 
 from .address import Address
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (faults -> runtime)
+    from ..faults.base import MessageInterceptor
+    from .messages import Message
 
 
 @dataclass
@@ -41,6 +45,14 @@ class NetworkModel:
     #: probability that a TCP RST emitted by a resetting node is lost, which
     #: is precisely the trigger of the RandTree bug in Figure 2.
     rst_loss_probability: float = 0.2
+    #: Fault-injection interceptors (see :mod:`repro.faults`): each may
+    #: transform the delivery plan of every transmitted message.
+    interceptors: list["MessageInterceptor"] = field(default_factory=list)
+    #: Reference counts per partitioned pair, so overlapping partitions
+    #: (two fault windows cutting a shared link) compose: a link is only
+    #: restored when every cut of it has been healed.
+    _partition_refs: dict[frozenset[Address], int] = field(
+        default_factory=dict, init=False, repr=False)
 
     def latency(self, src: Address, dst: Address, rng: random.Random) -> float:
         """One-way latency from ``src`` to ``dst``."""
@@ -58,19 +70,49 @@ class NetworkModel:
         # ModelNet cross-traffic emulation: uniform in [0.001, 0.005] per link.
         return rng.uniform(0.001, 0.005)
 
+    # -- fault interceptors -----------------------------------------------------
+
+    def plan_deliveries(self, message: "Message", latency: float,
+                        rng: random.Random) -> list[float]:
+        """Delivery plan for one transmitted message.
+
+        The plan is a list of delivery latencies — one entry per copy that
+        will arrive (an empty plan drops the message).  Without installed
+        interceptors the plan is just ``[latency]`` and no RNG state is
+        consumed, so fault-free runs are bit-identical to the pre-fault
+        runtime.
+        """
+        plan = [latency]
+        for interceptor in self.interceptors:
+            plan = interceptor.transform(message, plan, rng)
+        return plan
+
     # -- partitions -------------------------------------------------------------
 
     def partition(self, a: Address, b: Address) -> None:
-        """Block all traffic between ``a`` and ``b`` (both directions)."""
-        self.partitions.add(frozenset((a, b)))
+        """Block all traffic between ``a`` and ``b`` (both directions).
+
+        Cuts are reference-counted: cutting the same pair twice (two
+        overlapping fault windows) requires two heals to restore it.
+        """
+        pair = frozenset((a, b))
+        self._partition_refs[pair] = self._partition_refs.get(pair, 0) + 1
+        self.partitions.add(pair)
 
     def heal(self, a: Address, b: Address) -> None:
-        """Remove the partition between ``a`` and ``b`` if present."""
-        self.partitions.discard(frozenset((a, b)))
+        """Undo one cut of the pair; restores the link when no cut remains."""
+        pair = frozenset((a, b))
+        remaining = self._partition_refs.get(pair, 0) - 1
+        if remaining > 0:
+            self._partition_refs[pair] = remaining
+            return
+        self._partition_refs.pop(pair, None)
+        self.partitions.discard(pair)
 
     def heal_all(self) -> None:
-        """Remove every partition."""
+        """Remove every partition regardless of outstanding cuts."""
         self.partitions.clear()
+        self._partition_refs.clear()
 
     def isolate(self, node: Address, others: Iterable[Address]) -> None:
         """Partition ``node`` from every address in ``others``."""

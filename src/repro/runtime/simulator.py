@@ -369,7 +369,12 @@ class Simulator:
             loss = self.network.loss_probability(stamped.src, stamped.dst, self.rng)
             if self.rng.random() < loss:
                 return
-            self._schedule(self.now + latency, "deliver", stamped)
+            # Fault interceptors act on messages that survived the loss
+            # draw, so `messages_affected` counts delivered traffic only.
+            plan = (self.network.plan_deliveries(stamped, latency, self.rng)
+                    if self.network.interceptors else [latency])
+            for delivery_latency in plan:
+                self._schedule(self.now + delivery_latency, "deliver", stamped)
             return
 
         # TCP semantics: verify / establish the connection first.
@@ -386,11 +391,16 @@ class Simulator:
         if recorded is None:
             node.connections.establish(stamped.dst, dest.incarnation)
             dest.connections.establish(node.addr, node.incarnation)
-        delivery = self.now + latency
+        plan = (self.network.plan_deliveries(stamped, latency, self.rng)
+                if self.network.interceptors else [latency])
         key = (stamped.src, stamped.dst)
-        delivery = max(delivery, self._last_tcp_delivery.get(key, 0.0) + 1e-6)
-        self._last_tcp_delivery[key] = delivery
-        self._schedule(delivery, "deliver", stamped)
+        # TCP stays FIFO per stream even under fault interceptors: every
+        # planned copy is delivered no earlier than the previous delivery.
+        for delivery_latency in sorted(plan):
+            delivery = max(self.now + delivery_latency,
+                           self._last_tcp_delivery.get(key, 0.0) + 1e-6)
+            self._last_tcp_delivery[key] = delivery
+            self._schedule(delivery, "deliver", stamped)
 
     def transmit(self, addr: Address, message: Message) -> None:
         """Send a message on behalf of ``addr`` (used by the CrystalBall

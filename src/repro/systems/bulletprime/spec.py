@@ -4,13 +4,18 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
-from ...api.experiment import make_search_scenario_runner, parse_mode
+from ...api.experiment import (
+    make_fault_scenario_runner,
+    make_search_scenario_runner,
+    parse_mode,
+)
 from ...api.registry import (
     ScenarioSpec,
     SystemSpec,
     check_options,
     register_system,
 )
+from ...faults.types import Partition
 from ...mc.global_state import GlobalState
 from ...mc.search import SearchBudget
 from ...mc.transition import TransitionConfig
@@ -116,6 +121,29 @@ SPEC = register_system(SystemSpec(
                         "inconsistency from a congested two-node snapshot",
             run=_run_shadow_map,
             build=congested_snapshot,
+        ),
+        "mesh-partition": ScenarioSpec(
+            name="mesh-partition",
+            description="Live download under recurring healed partitions of "
+                        "the distribution mesh (the source is spared)",
+            run=make_fault_scenario_runner(
+                system="bulletprime",
+                faults_factory=lambda duration, addrs: [
+                    # spare=1 keeps the source on the majority side.
+                    Partition(every=duration / 4, duration=duration / 8,
+                              spare=1),
+                ],
+                default_nodes=8, default_duration=300.0,
+                options={"block_count": 8}),
+        ),
+        "slow-links": ScenarioSpec(
+            name="slow-links",
+            description="Live download through latency-spike windows and "
+                        "duplicated blocks",
+            run=make_fault_scenario_runner(
+                system="bulletprime", faults=("delay", "duplicate"),
+                default_nodes=8, default_duration=300.0,
+                options={"block_count": 8}),
         ),
     },
     default_nodes=8,

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
-from ...api.experiment import make_search_scenario_runner
+from ...api.experiment import (
+    make_fault_scenario_runner,
+    make_search_scenario_runner,
+)
 from ...api.registry import (
     ScenarioSpec,
     SystemSpec,
@@ -69,6 +72,23 @@ SPEC = register_system(SystemSpec(
                         "(ring-ordering violation)",
             run=_run_figure(Figure11Scenario, "figure11", resets=False),
             build=Figure11Scenario.build,
+        ),
+        "partition-churn": ScenarioSpec(
+            name="partition-churn",
+            description="Live ring under overlapping partitions and "
+                        "crash/restart churn — the compound adversary "
+                        "behind the ring-consistency violations",
+            run=make_fault_scenario_runner(
+                system="chord", faults=("partition-churn",),
+                default_nodes=6, default_duration=240.0),
+        ),
+        "link-flap": ScenarioSpec(
+            name="link-flap",
+            description="Live ring with one flaky link cut and restored "
+                        "throughout stabilization",
+            run=make_fault_scenario_runner(
+                system="chord", faults=("link-flap",),
+                default_nodes=6, default_duration=240.0),
         ),
     },
     default_nodes=6,

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
+from ...api.experiment import make_fault_scenario_runner
 from ...api.registry import (
     ScenarioSpec,
     SystemSpec,
@@ -11,6 +12,7 @@ from ...api.registry import (
     register_system,
 )
 from ...core.controller import Mode
+from ...faults.types import CrashRestart, MessageDelay
 from ...mc.search import SearchBudget
 from ...mc.transition import TransitionConfig
 from ...runtime.address import Address
@@ -92,6 +94,33 @@ SPEC = register_system(SystemSpec(
                         "(promises lost across a reset)",
             run=_run_figure13(2),
             build=lambda **kw: Figure13Scenario(bug=2, **kw),
+        ),
+        "leader-crash": ScenarioSpec(
+            name="leader-crash",
+            description="Live consensus where the first proposer fail-stops "
+                        "mid-round and restarts with fresh state before the "
+                        "competing proposal",
+            run=make_fault_scenario_runner(
+                system="paxos",
+                faults_factory=lambda duration, addrs: [
+                    CrashRestart(at=duration * 0.1, duration=duration * 0.3,
+                                 target=addrs[0], spare=0),
+                ],
+                default_nodes=3, default_duration=60.0),
+        ),
+        "partition-quorum": ScenarioSpec(
+            name="partition-quorum",
+            description="Live consensus under recurring partitions that "
+                        "strand a minority, plus delayed messages between "
+                        "rounds",
+            run=make_fault_scenario_runner(
+                system="paxos",
+                faults=("partition",),
+                faults_factory=lambda duration, addrs: [
+                    MessageDelay(every=duration / 3, duration=duration / 6,
+                                 min_extra=0.5, max_extra=2.0),
+                ],
+                default_nodes=5, default_duration=60.0),
         ),
     },
     default_nodes=3,

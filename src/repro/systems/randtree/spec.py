@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Sequence
 
-from ...api.experiment import make_search_scenario_runner
+from ...api.experiment import (
+    make_fault_scenario_runner,
+    make_search_scenario_runner,
+)
 from ...api.registry import (
     ScenarioSpec,
     SystemSpec,
@@ -69,6 +72,24 @@ SPEC = register_system(SystemSpec(
                         "state (root appears as a child)",
             run=_run_figure(Figure9Scenario, "figure9"),
             build=Figure9Scenario.build,
+        ),
+        "partition-recovery": ScenarioSpec(
+            name="partition-recovery",
+            description="Live run under recurring healed partitions: the "
+                        "tree splits, elects spurious roots and must "
+                        "re-merge (Figure 2 conditions at scale)",
+            run=make_fault_scenario_runner(
+                system="randtree", faults=("partition",),
+                default_nodes=6, default_duration=240.0,
+                options={"bootstrap_index": 1, "max_children": 2}),
+        ),
+        "flaky-network": ScenarioSpec(
+            name="flaky-network",
+            description="Live run under latency spikes, duplicated service "
+                        "messages and a flapping link",
+            run=make_fault_scenario_runner(
+                system="randtree", faults=("delay", "duplicate", "link-flap"),
+                default_nodes=6, default_duration=240.0),
         ),
     },
     default_nodes=6,

@@ -1,0 +1,74 @@
+"""Fixtures for the fault-injection tests: a tiny ping protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.runtime import (
+    Address,
+    NetworkModel,
+    NodeState,
+    Protocol,
+    Simulator,
+    Transport,
+    make_addresses,
+)
+
+PING_TIMER = "ping"
+
+
+@dataclass
+class PingState(NodeState):
+    addr: Address = None
+    seq: int = 0
+    #: (arrival_time, sender, sender_sequence_number) triples.
+    received: list = field(default_factory=list)
+
+
+class PingProtocol(Protocol):
+    """Every node pings every peer once a second over UDP, with a
+    per-sender sequence number so tests can observe reordering."""
+
+    name = "PingAll"
+
+    def __init__(self, peers):
+        self.peers = tuple(peers)
+
+    def initial_state(self, addr):
+        return PingState(addr=addr)
+
+    def on_start(self, ctx, state):
+        ctx.set_timer(PING_TIMER, 1.0)
+
+    def handle_timer(self, ctx, state, timer):
+        state.seq += 1
+        for peer in self.peers:
+            if peer != state.addr:
+                ctx.send(peer, "Ping", {"seq": state.seq},
+                         transport=Transport.UDP)
+        ctx.set_timer(PING_TIMER, 1.0)
+
+    def handle_message(self, ctx, state, message):
+        state.received.append((ctx.now, message.src, message.get("seq")))
+
+
+def make_ping_sim(node_count=4, seed=7):
+    addrs = make_addresses(node_count)
+    sim = Simulator(lambda: PingProtocol(addrs),
+                    NetworkModel(jitter=0.0, loss_fn=lambda s, d, r: 0.0),
+                    seed=seed)
+    for addr in addrs:
+        sim.add_node(addr)
+    return sim, addrs
+
+
+@pytest.fixture
+def ping_sim():
+    return make_ping_sim()
+
+
+@pytest.fixture
+def ping_sim_factory():
+    return make_ping_sim

@@ -1,0 +1,195 @@
+"""Unit tests for the individual fault types."""
+
+import random
+
+from repro.faults import (
+    ClockSkew,
+    CrashRestart,
+    LinkFlap,
+    MessageDelay,
+    MessageDup,
+    MessageReorder,
+    Nemesis,
+    Partition,
+)
+
+import pytest
+
+
+def _received(sim, addr):
+    return sim.nodes[addr].state.received
+
+
+def test_partition_blocks_and_heals(ping_sim):
+    sim, addrs = ping_sim
+    Nemesis([Partition(at=2.0, duration=4.0, fraction=0.5)], seed=1).install(sim)
+    sim.run(until=2.5)
+    assert sim.network.partitions  # cut while active
+    sim.run(until=10.0)
+    assert not sim.network.partitions  # fully healed afterwards
+    # Traffic flows again after the heal: every node heard from peers
+    # in the post-heal window.
+    for addr in addrs:
+        assert any(t > 6.5 for t, _, _ in _received(sim, addr))
+
+
+def test_partition_spares_at_least_one_node_per_side(ping_sim):
+    sim, addrs = ping_sim
+    fault = Partition(at=1.0, fraction=1.0)  # would isolate everyone
+    detail = fault.inject(sim, random.Random(0))
+    assert 1 <= len(detail["minority"]) < len(addrs)
+
+
+def test_crash_restart_resets_state(ping_sim):
+    sim, addrs = ping_sim
+    victim = addrs[-1]
+    Nemesis([CrashRestart(at=3.0, duration=3.0, target=victim)],
+            seed=1).install(sim)
+    sim.run(until=3.5)
+    assert not sim.nodes[victim].alive
+    before = sim.nodes[victim].incarnation
+    sim.run(until=12.0)
+    node = sim.nodes[victim]
+    assert node.alive
+    assert node.incarnation > before
+    # Fresh state: everything it received pre-crash is gone, new pings arrive.
+    assert node.state.received
+    assert all(t > 6.0 for t, _, _ in node.state.received)
+
+
+def test_crash_without_duration_is_permanent(ping_sim):
+    sim, addrs = ping_sim
+    Nemesis([CrashRestart(at=2.0, target=addrs[1])], seed=1).install(sim)
+    sim.run(until=20.0)
+    assert not sim.nodes[addrs[1]].alive
+
+
+def test_crash_spare_protects_bootstrap(ping_sim):
+    sim, addrs = ping_sim
+    fault = CrashRestart(every=1.0, spare=1)
+    rng = random.Random(3)
+    victims = {fault.inject(sim, rng)["node"] for _ in range(20)
+               if (fault.heal(sim) or True)}
+    assert str(addrs[0]) not in victims
+
+
+def test_clock_skew_forces_checkpoints(ping_sim):
+    sim, addrs = ping_sim
+    Nemesis([ClockSkew(at=2.0, amount=5)], seed=1).install(sim)
+    sim.run(until=6.0)
+    # The skewed node's clock jumped, and at least one peer adopted the
+    # larger checkpoint number through message stamping.
+    values = sorted(node.clock.value for node in sim.nodes.values())
+    assert values[-1] >= 5
+    assert sum(1 for v in values if v >= 5) >= 2
+
+
+def test_link_flap_targets_one_stable_pair(ping_sim):
+    sim, addrs = ping_sim
+    fault = LinkFlap(every=2.0, duration=1.0)
+    nemesis = Nemesis([fault], seed=2).install(sim)
+    sim.run(until=15.0)
+    links = {record.detail["link"] for record in nemesis.records
+             if record.kind == "inject"}
+    assert len(links) == 1
+    assert not sim.network.partitions or len(sim.network.partitions) == 1
+
+
+def test_message_delay_stretches_latency(ping_sim):
+    sim, addrs = ping_sim
+    base_latency = sim.network.default_rtt  # generous upper bound per hop
+    Nemesis([MessageDelay(at=1.5, duration=100.0, min_extra=2.0,
+                          max_extra=3.0)], seed=1).install(sim)
+    sim.run(until=6.0)
+    delivered = [t for t, _, _ in _received(sim, addrs[0])]
+    # Pings sent after the window opened arrive >= 2 s late.
+    late = [t for t in delivered if t > 2.0 + base_latency]
+    assert late and min(late) >= 4.0
+
+
+def test_message_delay_window_closes(ping_sim):
+    sim, addrs = ping_sim
+    Nemesis([MessageDelay(at=1.5, duration=2.0, min_extra=5.0,
+                          max_extra=5.0)], seed=1).install(sim)
+    sim.run(until=4.0)
+    assert not sim.network.interceptors  # healed: interceptor removed
+    sim.run(until=20.0)
+    # Traffic sent after the heal is fast again.
+    fast = [t for t, _, _ in _received(sim, addrs[0]) if 10.0 < t < 11.5]
+    assert fast
+
+
+def test_message_dup_delivers_twice(ping_sim):
+    sim, addrs = ping_sim
+    Nemesis([MessageDup(at=0.5, duration=100.0, probability=1.0)],
+            seed=1).install(sim)
+    sim.run(until=3.5)
+    # With dup probability 1, every ping arrives (at least) twice.
+    received = _received(sim, addrs[0])
+    assert len(received) >= 2 * 2 * len(addrs[1:])
+
+
+def test_message_reorder_changes_arrival_order(ping_sim):
+    sim, addrs = ping_sim
+    Nemesis([MessageReorder(at=0.5, duration=100.0, probability=0.5,
+                            window=3.0)], seed=1).install(sim)
+    sim.run(until=15.0)
+    # A later-sent ping overtakes an earlier one: for some sender, the
+    # observed sequence numbers are not monotonically increasing.
+    out_of_order = 0
+    for addr in addrs:
+        last_seq = {}
+        for _, src, seq in _received(sim, addr):
+            if src in last_seq and seq < last_seq[src]:
+                out_of_order += 1
+            last_seq[src] = max(last_seq.get(src, 0), seq)
+    assert out_of_order > 0
+
+
+def test_partition_refcounting_on_shared_links(ping_sim):
+    sim, (a, b, *_rest) = ping_sim
+    sim.network.partition(a, b)
+    sim.network.partition(a, b)  # second overlapping cut of the same link
+    sim.network.heal(a, b)
+    assert not sim.network.reachable(a, b)  # one cut still outstanding
+    sim.network.heal(a, b)
+    assert sim.network.reachable(a, b)
+
+
+def test_self_overlapping_partition_windows_fully_heal(ping_sim):
+    sim, _ = ping_sim
+    # every < duration: windows overlap, and shared links must stay cut
+    # until the *last* overlapping window closes.
+    nemesis = Nemesis([Partition(every=4.0, duration=6.0)], seed=5,
+                      stop_after=20.0).install(sim)
+    sim.run(until=40.0)
+    heals = [r for r in nemesis.records if r.kind == "heal"]
+    assert heals and len(heals) == nemesis.faults_injected
+    assert not sim.network.partitions  # nothing leaks past the last heal
+
+
+def test_link_flap_heals_the_pair_it_cut_after_repick(ping_sim):
+    sim, addrs = ping_sim
+    fault = LinkFlap(every=10.0, duration=5.0)
+    rng = random.Random(1)
+    first = fault.inject(sim, rng)["link"]
+    a = next(addr for addr in addrs if str(addr) == first.split("<->")[0])
+    b = next(addr for addr in addrs if str(addr) == first.split("<->")[1])
+    sim.crash_node(b)  # endpoint dies: the next injection re-picks a pair
+    second = fault.inject(sim, rng)["link"]
+    assert second != first
+    # Heals restore the pairs in injection order, so the first pair's cut
+    # does not leak even though the flapping link moved on.
+    fault.heal(sim)
+    assert sim.network.reachable(a, b)
+    fault.heal(sim)
+    assert not sim.network.partitions
+
+
+def test_fault_requires_exactly_one_of_at_or_every():
+    with pytest.raises(ValueError):
+        Partition()
+    with pytest.raises(ValueError):
+        Partition(at=1.0, every=2.0)
+    with pytest.raises(ValueError):
+        Partition(every=-1.0)

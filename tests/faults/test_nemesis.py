@@ -1,0 +1,124 @@
+"""Tests for the Nemesis scheduler and its accounting."""
+
+import pytest
+
+from repro.faults import (
+    ClockSkew,
+    CrashRestart,
+    Nemesis,
+    Partition,
+    list_presets,
+    make_nemesis,
+    resolve_preset,
+)
+
+
+def test_periodic_fault_fires_repeatedly(ping_sim):
+    sim, _ = ping_sim
+    nemesis = Nemesis([ClockSkew(every=5.0)], seed=3).install(sim)
+    sim.run(until=22.0)
+    assert nemesis.faults_injected == 4  # t = 5, 10, 15, 20
+
+
+def test_one_shot_fault_fires_once(ping_sim):
+    sim, _ = ping_sim
+    nemesis = Nemesis([ClockSkew(at=5.0)], seed=3).install(sim)
+    sim.run(until=60.0)
+    assert nemesis.faults_injected == 1
+
+
+def test_start_after_delays_first_injection(ping_sim):
+    sim, _ = ping_sim
+    nemesis = Nemesis([ClockSkew(every=5.0)], seed=3,
+                      start_after=30.0).install(sim)
+    sim.run(until=20.0)
+    assert nemesis.faults_injected == 0
+    sim.run(until=40.0)
+    assert nemesis.faults_injected >= 1
+    assert all(record.time >= 35.0 for record in nemesis.records)
+
+
+def test_stop_after_ends_injections_but_not_heals(ping_sim):
+    sim, _ = ping_sim
+    nemesis = Nemesis([Partition(every=4.0, duration=3.0)], seed=3,
+                      stop_after=10.0).install(sim)
+    sim.run(until=30.0)
+    inject_times = [r.time for r in nemesis.records if r.kind == "inject"]
+    heal_times = [r.time for r in nemesis.records if r.kind == "heal"]
+    assert inject_times and max(inject_times) < 10.0
+    assert len(heal_times) == len(inject_times)  # every cut was healed
+    assert not sim.network.partitions
+
+
+def test_skip_recorded_when_no_target(ping_sim):
+    sim, addrs = ping_sim
+    for addr in addrs:
+        sim.crash_node(addr)
+    nemesis = Nemesis([CrashRestart(every=2.0, duration=1.0)],
+                      seed=3).install(sim)
+    sim.run(until=5.0)
+    assert nemesis.faults_injected == 0
+    assert any(record.kind == "skip" for record in nemesis.records)
+
+
+def test_double_install_rejected(ping_sim):
+    sim, _ = ping_sim
+    nemesis = Nemesis([ClockSkew(every=5.0)], seed=3).install(sim)
+    with pytest.raises(RuntimeError):
+        nemesis.install(sim)
+
+
+def test_report_shape_and_breakdown(ping_sim):
+    sim, _ = ping_sim
+    nemesis = Nemesis([Partition(every=6.0, duration=2.0),
+                       ClockSkew(every=9.0)], seed=3).install(sim)
+    sim.run(until=20.0)
+    report = nemesis.report()
+    assert report["faults_injected"] == nemesis.faults_injected > 0
+    assert set(report["by_type"]) == {"partition", "clock-skew"}
+    for counts in report["by_type"].values():
+        assert set(counts) == {"injected", "healed", "skipped"}
+    assert report["schedule"][0]["kind"] == "inject"
+    assert report["schedule_truncated"] == 0
+
+
+def _chaos_schedule(ping_sim_factory, seed):
+    sim, _ = ping_sim_factory(node_count=5, seed=11)
+    nemesis = make_nemesis(["chaos"], duration=60.0, seed=seed).install(sim)
+    sim.run(until=60.0)
+    return [(round(record.time, 6), record.fault, record.kind,
+             tuple(sorted(record.detail.items())))
+            for record in nemesis.records]
+
+
+def test_same_seed_reproduces_identical_schedule(ping_sim_factory):
+    assert (_chaos_schedule(ping_sim_factory, 5)
+            == _chaos_schedule(ping_sim_factory, 5))
+
+
+def test_different_seed_changes_schedule(ping_sim_factory):
+    assert (_chaos_schedule(ping_sim_factory, 5)
+            != _chaos_schedule(ping_sim_factory, 6))
+
+
+def test_preset_names_all_resolve():
+    for name in list_presets():
+        faults = resolve_preset(name, duration=120.0)
+        assert faults, name
+        for fault in faults:
+            assert fault.every is not None or fault.at is not None
+
+
+def test_unknown_preset_raises():
+    with pytest.raises(ValueError, match="unknown fault preset"):
+        resolve_preset("nope", duration=100.0)
+    with pytest.raises(ValueError, match="known presets"):
+        make_nemesis(["nope"], duration=100.0)
+
+
+def test_make_nemesis_mixes_presets_and_instances():
+    nemesis = make_nemesis(["partition", ClockSkew(at=5.0)], duration=100.0,
+                           seed=4)
+    names = [fault.name for fault in nemesis.faults]
+    assert names == ["partition", "clock-skew"]
+    assert nemesis.stop_after == pytest.approx(90.0)
