@@ -1,36 +1,35 @@
 #!/usr/bin/env python
-"""Nightly fault-scenario matrix: every system × every fault preset.
+"""DEPRECATED: thin wrapper over ``python -m repro campaign``.
 
-For each combination this script shells out to the public CLI::
+This script used to brute-force the nightly fault matrix by spawning one
+cold ``python -m repro run`` subprocess per system × preset combination.
+The campaign subsystem (``repro.campaign``) now runs the same matrix
+in-process across a worker pool, streaming results to a resumable JSONL
+store — use it directly::
 
-    python -m repro run <system> --faults <preset> --mode off --json ...
+    PYTHONPATH=src python -m repro campaign \\
+        --axes systems=all --axes presets=all --axes seeds=1 \\
+        --axes modes=off --require-faults --jobs 4
 
-and asserts that the JSON report parses and that the nemesis actually
-injected faults (``faults_injected > 0``).  One failing combination fails
-the whole matrix, after all combinations have been attempted (so the
-nightly log shows the full picture, not just the first casualty).
-
-Usage::
-
-    python scripts/fault_matrix.py                 # full matrix
-    python scripts/fault_matrix.py --system chord  # one system's row
+This wrapper only translates the old flags (``--system``, ``--seed``) into
+a campaign invocation so existing automation keeps working; it will be
+removed once nothing calls it.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import subprocess
 import sys
-import time
+import warnings
 from pathlib import Path
 
-REPO_ROOT = Path(__file__).resolve().parent.parent
-SRC = REPO_ROOT / "src"
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-#: Per-system run length (simulated seconds): long enough for several
-#: injections of every preset, short enough for a nightly matrix.
+from repro.api.cli import main as repro_main  # noqa: E402
+
+#: Per-system run length (simulated seconds) of the historical matrix:
+#: long enough for several injections of every preset, short enough for a
+#: nightly run.
 DURATIONS = {
     "randtree": 160.0,
     "chord": 160.0,
@@ -39,90 +38,46 @@ DURATIONS = {
 }
 
 
-def _cli_env() -> dict:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
-    return env
-
-
-def _cli_json(args: list[str], timeout: float = 600.0) -> dict:
-    proc = subprocess.run(
-        [sys.executable, "-m", "repro", *args],
-        capture_output=True, text=True, env=_cli_env(), timeout=timeout)
-    if proc.returncode != 0:
-        raise RuntimeError(
-            f"`python -m repro {' '.join(args)}` exited "
-            f"{proc.returncode}:\n{proc.stderr.strip()}")
-    return json.loads(proc.stdout)
-
-
-def registered_systems() -> list[str]:
-    return [entry["name"] for entry in _cli_json(["list", "--json"])]
-
-
-def fault_presets() -> list[str]:
-    return sorted(_cli_json(["faults", "--json"]))
-
-
-def run_combination(system: str, preset: str, seed: int) -> dict:
-    duration = DURATIONS.get(system, 120.0)
-    report = _cli_json([
-        "run", system,
-        "--faults", preset,
-        "--mode", "off",
-        "--no-churn",
-        "--duration", str(duration),
-        "--seed", str(seed),
-        "--json",
-    ])
-    injected = report.get("faults", {}).get("faults_injected", 0)
-    if injected <= 0:
-        raise RuntimeError(
-            f"{system} × {preset}: report parsed but faults_injected == "
-            f"{injected}")
-    return report
-
-
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--system", default=None,
-                        help="run only this system's row of the matrix")
+    parser.add_argument(
+        "--system",
+        default=None,
+        help="run only this system's row of the matrix",
+    )
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes (default: os.cpu_count())",
+    )
     args = parser.parse_args(argv)
 
-    systems = registered_systems()
-    if args.system is not None:
-        if args.system not in systems:
-            parser.error(f"unknown system {args.system!r} "
-                         f"(registered: {', '.join(systems)})")
-        systems = [args.system]
-    presets = fault_presets()
+    warnings.warn(
+        "scripts/fault_matrix.py is deprecated; use "
+        "`python -m repro campaign` (see repro.campaign)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
 
-    failures: list[str] = []
-    for system in systems:
-        for preset in presets:
-            started = time.perf_counter()
-            try:
-                report = run_combination(system, preset, args.seed)
-            except Exception as exc:  # noqa: BLE001 - report and continue
-                failures.append(f"{system} × {preset}: {exc}")
-                print(f"FAIL  {system:<12} {preset:<16} {exc}")
-                continue
-            elapsed = time.perf_counter() - started
-            faults = report["faults"]
-            print(f"ok    {system:<12} {preset:<16} "
-                  f"injected={faults['faults_injected']:<3} "
-                  f"types={','.join(sorted(faults['by_type']))} "
-                  f"({elapsed:.1f}s)")
-
-    print(f"\n{len(systems) * len(presets) - len(failures)}/"
-          f"{len(systems) * len(presets)} combinations passed")
-    if failures:
-        print("\nfailures:", file=sys.stderr)
-        for line in failures:
-            print(f"  {line}", file=sys.stderr)
-        return 1
-    return 0
+    campaign_args = [
+        "campaign",
+        "--axes",
+        f"systems={args.system or 'all'}",
+        "--axes",
+        "presets=all",
+        "--axes",
+        f"seeds={args.seed}",
+        "--axes",
+        "modes=off",
+        "--require-faults",
+    ]
+    for system, duration in sorted(DURATIONS.items()):
+        campaign_args += ["--duration", f"{system}={duration:g}"]
+    if args.jobs is not None:
+        campaign_args += ["--jobs", str(args.jobs)]
+    return repro_main(campaign_args)
 
 
 if __name__ == "__main__":

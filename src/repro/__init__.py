@@ -28,11 +28,17 @@ Package layout
 ``repro.api``
     The unified experiment API: system registry, fluent ``Experiment``
     builder, structured ``RunReport`` and the ``python -m repro`` CLI.
+``repro.faults``
+    Fault injection: seeded nemesis scheduler, composable fault types and
+    named presets.
+``repro.campaign``
+    Declarative sweeps over system × scenario × faults × seeds × modes,
+    executed across a worker pool with a resumable JSONL result store.
 """
 
-from . import analysis, api, core, mc, runtime, sim, systems
+from . import analysis, api, campaign, core, faults, mc, runtime, sim, systems
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["analysis", "api", "core", "mc", "runtime", "sim", "systems",
-           "__version__"]
+__all__ = ["analysis", "api", "campaign", "core", "faults", "mc", "runtime",
+           "sim", "systems", "__version__"]

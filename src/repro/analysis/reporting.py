@@ -102,6 +102,19 @@ def format_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
     return "\n".join(lines)
 
 
+def format_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence[Any]]) -> str:
+    """Render a GitHub-flavored markdown table (job summaries, PR bodies)."""
+    def line(cells: Sequence[str]) -> str:
+        return "| " + " | ".join(cells) + " |"
+
+    lines = [line([str(h) for h in headers]),
+             line(["---"] * len(headers))]
+    for row in rows:
+        lines.append(line([_fmt(cell) for cell in row]))
+    return "\n".join(lines)
+
+
 def _fmt(cell: Any) -> str:
     if isinstance(cell, float):
         return f"{cell:.3f}"

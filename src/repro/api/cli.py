@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Any, Optional, Sequence
 
@@ -29,6 +30,15 @@ def _parse_option(raw: str) -> tuple[str, Any]:
         return key, json.loads(value)
     except json.JSONDecodeError:
         return key, value
+
+
+def _parse_axis(raw: str) -> tuple[str, str]:
+    """``key=values`` axis arguments for the campaign subcommand."""
+    if "=" not in raw:
+        raise argparse.ArgumentTypeError(
+            f"axis {raw!r} must have the form key=values")
+    key, values = raw.split("=", 1)
+    return key, values
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -81,6 +91,47 @@ def build_parser() -> argparse.ArgumentParser:
                      help="system/scenario-specific option (repeatable)")
     run.add_argument("--json", action="store_true", dest="as_json",
                      help="print the full RunReport as JSON")
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="sweep systems × scenarios × fault presets × seeds × modes "
+             "across a worker pool")
+    campaign.add_argument(
+        "--axes", metavar="KEY=VALUES", action="append", default=[],
+        type=_parse_axis,
+        help="axis values, comma-separated (repeatable): systems=all, "
+             "presets=partition,chaos, seeds=0-7, modes=off,steering, "
+             "scenarios=live; preset combos join with + "
+             "(presets=partition+delay)")
+    campaign.add_argument("--jobs", type=int, default=None,
+                          help="worker processes (default: os.cpu_count())")
+    campaign.add_argument("--out", metavar="PATH", default=None,
+                          help="JSONL result store, one line per finished "
+                               "run (streamed, resumable)")
+    campaign.add_argument("--resume", action="store_true",
+                          help="skip runs the --out store already completed")
+    campaign.add_argument(
+        "--duration", metavar="[SYSTEM=]SECONDS", action="append", default=[],
+        help="simulated run length: a number for every system, or "
+             "system=seconds (repeatable) for per-system lengths")
+    campaign.add_argument("--nodes", type=int, default=None,
+                          help="deployment size for live runs")
+    campaign.add_argument("--churn", action="store_true",
+                          help="enable churn (off by default so the fault "
+                               "axis is the only adversary)")
+    campaign.add_argument("--fault-seed", type=int, default=None,
+                          help="nemesis seed (defaults to run seed + 13)")
+    campaign.add_argument("--require-faults", action="store_true",
+                          help="fail when a run with fault presets injected "
+                               "nothing")
+    campaign.add_argument("--fail-on-violation", action="store_true",
+                          help="exit non-zero when any run observed a "
+                               "safety violation")
+    campaign.add_argument("--json", action="store_true", dest="as_json",
+                          help="print the aggregate CampaignReport as JSON")
+    campaign.add_argument("--markdown-summary", metavar="PATH", default=None,
+                          help="also write a GitHub-flavored markdown "
+                               "summary to PATH")
     return parser
 
 
@@ -205,12 +256,105 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_durations(raw_values: Sequence[str]) -> tuple[Optional[float], dict]:
+    """``--duration`` values: a plain number and/or ``system=seconds``."""
+    scalar: Optional[float] = None
+    per_system: dict[str, float] = {}
+    for raw in raw_values:
+        if "=" in raw:
+            system, value = raw.split("=", 1)
+            per_system[system] = float(value)
+        else:
+            scalar = float(raw)
+    return scalar, per_system
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from ..campaign import (
+        CampaignSpec,
+        parse_axes,
+        render_campaign_report,
+        run_campaign,
+    )
+
+    # --axes is repeatable, including for the same key: merge repeated
+    # values instead of letting the last one silently win.
+    merged_axes: dict[str, str] = {}
+    for key, values in args.axes:
+        merged_axes[key] = (f"{merged_axes[key]},{values}"
+                            if key in merged_axes else values)
+    try:
+        axis_kwargs = parse_axes(merged_axes)
+        scalar_duration, per_system = _parse_durations(args.duration)
+    except ValueError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    spec = CampaignSpec(
+        nodes=args.nodes,
+        duration=scalar_duration,
+        durations=per_system,
+        churn=args.churn,
+        fault_seed=args.fault_seed,
+        **axis_kwargs,
+    )
+
+    def progress(record: dict) -> None:
+        # Progress goes to stderr so --json keeps stdout machine-readable.
+        run = record["run"]
+        if record["status"] == "ok":
+            summary = record["summary"]
+            detail = (f"injected={summary['faults_injected']:<3} "
+                      f"observed={summary['violations_observed']}")
+        else:
+            detail = (record["error"] or "").strip().splitlines()[-1]
+        print(f"{record['status']:<5} {run['run_id']:<48} {detail} "
+              f"({record['wall_clock_seconds']:.1f}s)", file=sys.stderr)
+
+    try:
+        report = run_campaign(spec, jobs=args.jobs, out=args.out,
+                              resume=args.resume, progress=progress)
+    except ValueError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    if args.markdown_summary:
+        summary_dir = os.path.dirname(args.markdown_summary)
+        if summary_dir:
+            os.makedirs(summary_dir, exist_ok=True)
+        with open(args.markdown_summary, "w", encoding="utf-8") as handle:
+            handle.write(render_campaign_report(report, markdown=True) + "\n")
+    if args.as_json:
+        print(report.to_json())
+    else:
+        print(render_campaign_report(report))
+
+    status = 0
+    if report.failed:
+        print(f"error: {report.failed}/{report.run_count} campaign run(s) "
+              f"failed", file=sys.stderr)
+        status = 1
+    if args.require_faults:
+        missing = report.faultless_runs()
+        if missing:
+            print("error: fault presets requested but nothing injected in: "
+                  + ", ".join(missing), file=sys.stderr)
+            status = 1
+    if args.fail_on_violation and report.violations_observed() > 0:
+        print(f"error: campaign observed {report.violations_observed()} "
+              f"safety violation(s) (--fail-on-violation)", file=sys.stderr)
+        status = 1
+    return status
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return _cmd_list(args.as_json)
     if args.command == "faults":
         return _cmd_faults(args.as_json)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     return _cmd_run(args)
 
 

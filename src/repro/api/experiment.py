@@ -370,6 +370,10 @@ class Experiment:
         self._cb_kwargs: dict[str, Any] = {}
         self._checker_nodes: Optional[Sequence[Address]] = None
         self._network: Optional[NetworkModel] = None
+        #: simple network kwargs (rtt/loss/jitter/rst_loss) when network()
+        #: was configured from scalars — what a sweep can carry to workers;
+        #: None means an explicit NetworkModel instance was supplied.
+        self._network_params: Optional[dict[str, float]] = {}
         self._churn_interval = (self._spec.default_churn_interval
                                 if self._spec.supports_churn else None)
         self._scenario: Optional[str] = None
@@ -425,7 +429,13 @@ class Experiment:
         self._explicit.add("network")
         if model is not None:
             self._network = model
+            self._network_params = None
             return self
+        self._network_params = {
+            key: value
+            for key, value in (("rtt", rtt), ("loss", loss),
+                               ("jitter", jitter), ("rst_loss", rst_loss))
+            if value is not None}
         kwargs: dict[str, Any] = {}
         if rtt is not None:
             kwargs["default_rtt"] = rtt
@@ -665,6 +675,99 @@ class Experiment:
             system_name=self._spec.name,
         )
         return live.run()
+
+    def sweep(self, *,
+              seeds: Optional[Sequence[int]] = None,
+              faults: Optional[Sequence[Union[str, Sequence[str], None]]] = None,
+              modes: Optional[Sequence[str]] = None,
+              scenarios: Optional[Sequence[Optional[str]]] = None,
+              jobs: Optional[int] = None,
+              out: Optional[Any] = None,
+              resume: bool = False,
+              progress: Optional[Callable[[dict], None]] = None):
+        """Run a campaign sweeping axes over this experiment's base settings.
+
+        Every axis defaults to the single value the builder holds (its
+        seed, its fault presets, its mode, live run), so each added axis
+        multiplies the matrix::
+
+            report = (Experiment("randtree")
+                      .duration(120)
+                      .sweep(seeds=range(8),
+                             faults=["partition", "chaos"],
+                             modes=["off", "steering"],
+                             jobs=4))
+            print(report.totals["violations_avoided"])
+
+        Cells execute across a ``multiprocessing`` pool (``jobs=None``
+        sizes it from ``os.cpu_count()``); ``out`` streams every finished
+        run into a JSONL result store and ``resume=True`` skips cells that
+        store already holds.  Returns a
+        :class:`~repro.campaign.CampaignReport`.
+
+        Cells are rebuilt from plain data inside the workers, so only the
+        serializable builder surface carries over: deployment settings,
+        churn, simple ``network(...)`` scalars, options, and fault *preset
+        names*.  Explicit :class:`NetworkModel` / ``Fault`` instances
+        raise, and other uncarried explicit settings (engine, budget, ...)
+        warn instead of silently changing the measurement.
+        """
+        from ..campaign import CampaignSpec, run_campaign
+
+        instances = [fault for fault in self._faults
+                     if not isinstance(fault, str)]
+        if faults is None:
+            if instances:
+                raise ValueError(
+                    "sweep() cannot carry explicit Fault instances (the "
+                    "partition_every shorthand included) into worker "
+                    "processes; name fault presets instead, e.g. "
+                    "faults=['partition'] or .faults('partition')")
+            fault_presets: Sequence[Any] = [tuple(
+                fault for fault in self._faults if isinstance(fault, str))
+                or None]
+        else:
+            if instances:
+                warnings.warn(
+                    "the faults= axis replaces the builder's fault list; "
+                    "its explicit Fault instances are dropped from the "
+                    "sweep", UserWarning, stacklevel=2)
+            fault_presets = list(faults)
+        if self._network_params is None:
+            raise ValueError(
+                "sweep() cannot carry an explicit NetworkModel instance "
+                "into worker processes; configure the network from scalars "
+                "instead: network(rtt=..., loss=..., jitter=..., "
+                "rst_loss=...)")
+        uncarried = self._explicit & {
+            "engine", "portfolio", "max_events", "properties", "transition",
+            "immediate_check", "check_filter_safety", "checker_nodes"}
+        if self._cb_config is not None or "search_budget" in self._cb_kwargs:
+            uncarried = uncarried | {"crystalball config/budget"}
+        if uncarried:
+            warnings.warn(
+                f"sweep() rebuilds each cell from plain data and ignores "
+                f"these builder settings: {sorted(uncarried)}",
+                UserWarning, stacklevel=2)
+        spec = CampaignSpec(
+            systems=[self._spec.name],
+            scenarios=(list(scenarios) if scenarios is not None
+                       else [self._scenario]),
+            fault_presets=fault_presets,
+            seeds=(list(seeds) if seeds is not None else [self._seed]),
+            modes=(list(modes) if modes is not None else [self._mode.value]),
+            nodes=self._nodes if "nodes" in self._explicit else None,
+            duration=(self._duration if "duration" in self._explicit
+                      else None),
+            churn=self._churn_interval is not None,
+            churn_interval=self._churn_interval,
+            network=dict(self._network_params),
+            options=dict(self._options),
+            fault_seed=self._fault_seed,
+            fault_start_after=self._fault_start_after,
+        )
+        return run_campaign(spec, jobs=jobs, out=out, resume=resume,
+                            progress=progress)
 
     def addresses(self) -> list[Address]:
         return make_addresses(self._nodes, start=1)

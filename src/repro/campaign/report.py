@@ -1,0 +1,250 @@
+"""Campaign aggregation: per-axis rollups and rendered summaries.
+
+:func:`build_campaign_report` folds the per-run records of a campaign into
+a :class:`CampaignReport` — totals plus rollups along every axis (system,
+fault preset, mode, scenario, seed).  The aggregate is deterministic for a
+fixed seed set: records are re-sorted by ``run_id`` (worker count only
+varies the on-disk order) and wall-clock timing lives in a separate
+``timing`` section that :meth:`CampaignReport.deterministic_dict` drops.
+
+:func:`render_campaign_report` renders the same aggregate as a plain-text
+table for terminals or as GitHub-flavored markdown for job summaries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..analysis.reporting import format_markdown_table, format_table
+from .spec import COMBO_SEPARATOR, LIVE_SCENARIO, CampaignSpec, RunSpec
+
+#: Summary counters summed into totals and every rollup bucket.
+ROLLUP_COUNTERS = (
+    "faults_injected",
+    "violations_predicted",
+    "violations_avoided",
+    "live_inconsistent_states",
+    "violations_observed",
+    "churn_events",
+)
+
+#: Rollup axes: name -> key extractor over the run dict of a record.
+_AXES = {
+    "system": lambda run: run["system"],
+    "preset": lambda run: COMBO_SEPARATOR.join(run["faults"] or []) or "none",
+    "mode": lambda run: run["mode"],
+    "scenario": lambda run: run["scenario"] or LIVE_SCENARIO,
+    "seed": lambda run: str(run["seed"]),
+}
+
+
+def _empty_bucket() -> dict[str, Any]:
+    bucket: dict[str, Any] = {"runs": 0, "succeeded": 0, "failed": 0}
+    for counter in ROLLUP_COUNTERS:
+        bucket[counter] = 0
+    return bucket
+
+
+def _fold(bucket: dict[str, Any], record: dict[str, Any]) -> None:
+    bucket["runs"] += 1
+    if record["status"] == "ok":
+        bucket["succeeded"] += 1
+        summary = record.get("summary") or {}
+        for counter in ROLLUP_COUNTERS:
+            bucket[counter] += int(summary.get(counter, 0))
+    else:
+        bucket["failed"] += 1
+
+
+@dataclass
+class CampaignReport:
+    """The aggregated result of one campaign execution."""
+
+    axes: dict[str, Any]
+    totals: dict[str, Any]
+    rollups: dict[str, dict[str, dict[str, Any]]]
+    failures: list[dict[str, Any]]
+    runs: list[dict[str, Any]]
+    timing: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def run_count(self) -> int:
+        return int(self.totals["runs"])
+
+    @property
+    def succeeded(self) -> int:
+        return int(self.totals["succeeded"])
+
+    @property
+    def failed(self) -> int:
+        return int(self.totals["failed"])
+
+    def violations_observed(self) -> int:
+        return int(self.totals["violations_observed"])
+
+    def faultless_runs(self) -> list[str]:
+        """Run ids that requested fault presets but injected nothing."""
+        missing = []
+        for run in self.runs:
+            if run["status"] != "ok" or not run["faults"]:
+                continue
+            if int((run.get("summary") or {}).get("faults_injected", 0)) <= 0:
+                missing.append(run["run_id"])
+        return missing
+
+    def deterministic_dict(self) -> dict[str, Any]:
+        """The seed-reproducible aggregate: identical across reruns and
+        worker counts of the same campaign."""
+        return {
+            "axes": self.axes,
+            "totals": self.totals,
+            "rollups": self.rollups,
+            "failures": self.failures,
+            "runs": self.runs,
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        data = self.deterministic_dict()
+        data["timing"] = self.timing
+        return data
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+def build_campaign_report(
+    spec: CampaignSpec,
+    runs: Sequence[RunSpec],
+    records: Sequence[dict[str, Any]],
+    *,
+    jobs: int,
+    resumed: int = 0,
+    wall_clock_seconds: float = 0.0,
+) -> CampaignReport:
+    """Fold run records into the deterministic campaign aggregate."""
+    by_id = {record["run"]["run_id"]: record for record in records}
+    ordered = [by_id[run.run_id] for run in runs if run.run_id in by_id]
+    ordered.sort(key=lambda record: record["run"]["run_id"])
+
+    totals = _empty_bucket()
+    rollups: dict[str, dict[str, dict[str, Any]]] = {axis: {} for axis in _AXES}
+    failures = []
+    run_rows = []
+    for record in ordered:
+        run = record["run"]
+        _fold(totals, record)
+        for axis, key_of in _AXES.items():
+            bucket = rollups[axis].setdefault(key_of(run), _empty_bucket())
+            _fold(bucket, record)
+        if record["status"] != "ok":
+            failures.append(
+                {
+                    "run_id": run["run_id"],
+                    "error": (record.get("error") or "").strip(),
+                }
+            )
+        run_rows.append(
+            {
+                "run_id": run["run_id"],
+                "system": run["system"],
+                "scenario": run["scenario"],
+                "faults": list(run["faults"] or []),
+                "mode": run["mode"],
+                "seed": run["seed"],
+                "status": record["status"],
+                "summary": record.get("summary"),
+            }
+        )
+
+    rollups = {
+        axis: dict(sorted(buckets.items())) for axis, buckets in rollups.items()
+    }
+    run_wall_clock = sum(
+        float(record.get("wall_clock_seconds") or 0.0) for record in ordered
+    )
+    timing = {
+        "jobs": jobs,
+        "resumed_runs": resumed,
+        "wall_clock_seconds": wall_clock_seconds,
+        "run_wall_clock_seconds": run_wall_clock,
+    }
+    return CampaignReport(
+        axes=spec.axes_dict(),
+        totals=totals,
+        rollups=rollups,
+        failures=failures,
+        runs=run_rows,
+        timing=timing,
+    )
+
+
+_TABLE_COLUMNS = (
+    ("runs", "runs"),
+    ("succeeded", "ok"),
+    ("failed", "failed"),
+    ("faults_injected", "faults"),
+    ("violations_predicted", "predicted"),
+    ("violations_avoided", "avoided"),
+    ("live_inconsistent_states", "inconsistent"),
+    ("violations_observed", "observed"),
+)
+
+
+def _rollup_rows(report: CampaignReport) -> list[list[Any]]:
+    rows = []
+    for axis in ("system", "preset", "mode", "scenario"):
+        buckets = report.rollups.get(axis, {})
+        if len(buckets) < 2 and axis != "system":
+            # A single-valued axis repeats the totals line; skip the noise.
+            continue
+        for value, bucket in buckets.items():
+            rows.append(
+                [f"{axis}={value}"] + [bucket[key] for key, _ in _TABLE_COLUMNS]
+            )
+    rows.append(["total"] + [report.totals[key] for key, _ in _TABLE_COLUMNS])
+    return rows
+
+
+def render_campaign_report(
+    report: CampaignReport,
+    *,
+    markdown: bool = False,
+) -> str:
+    """Render the aggregate as a plain-text or GitHub-markdown summary."""
+    timing = report.timing
+    headline = (
+        f"campaign: {report.run_count} runs "
+        f"(ok {report.succeeded}, failed {report.failed}) · "
+        f"jobs {timing.get('jobs', '?')} · "
+        f"wall-clock {timing.get('wall_clock_seconds', 0.0):.1f}s"
+    )
+    if timing.get("resumed_runs"):
+        headline += f" · resumed {timing['resumed_runs']}"
+
+    headers = ["axis"] + [label for _, label in _TABLE_COLUMNS]
+    rows = _rollup_rows(report)
+    lines = []
+    if markdown:
+        lines.append("### Campaign summary")
+        lines.append("")
+        lines.append(headline)
+        lines.append("")
+        lines.append(format_markdown_table(headers, rows))
+        if report.failures:
+            lines.append("")
+            lines.append(f"#### Failures ({len(report.failures)})")
+            lines.append("")
+            for failure in report.failures:
+                last_line = failure["error"].splitlines()[-1:] or [""]
+                lines.append(f"- `{failure['run_id']}` — {last_line[0]}")
+    else:
+        lines.append(headline)
+        lines.append(format_table(headers, rows, title="per-axis rollups"))
+        if report.failures:
+            lines.append(f"failures ({len(report.failures)}):")
+            for failure in report.failures:
+                last_line = failure["error"].splitlines()[-1:] or [""]
+                lines.append(f"  {failure['run_id']}: {last_line[0]}")
+    return "\n".join(lines)

@@ -1,0 +1,203 @@
+"""Parallel campaign execution: a worker pool over the expanded run matrix.
+
+One interpreter amortizes startup across every cell of the matrix (the old
+nightly path paid a cold ``python -m repro`` subprocess per combination);
+cells are distributed over a ``multiprocessing`` pool sized from
+``os.cpu_count()``, with a serial in-process fallback for single-CPU
+environments and ``jobs=1``.  Each finished run is streamed to the JSONL
+:class:`~repro.campaign.store.ResultStore` immediately, so an interrupted
+campaign is resumable from its partial results.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from typing import Any, Callable, Optional, Union
+
+from ..api.experiment import Experiment
+from ..api.report import RunReport
+from .report import CampaignReport, build_campaign_report
+from .spec import CampaignSpec, RunSpec
+from .store import ResultStore, make_record
+
+#: ``progress(record)`` hook invoked in the parent as each run completes.
+ProgressHook = Callable[[dict[str, Any]], None]
+
+
+def run_one(run: RunSpec) -> RunReport:
+    """Execute one campaign cell through the fluent experiment API."""
+    experiment = Experiment(run.system).seed(run.seed).mode(run.mode)
+    if run.scenario is not None:
+        experiment.scenario(run.scenario)
+    # Deployment settings go through the builder for scenario cells too:
+    # Experiment.run() forwards what the scenario runner accepts
+    # (node_count / max_time) and warns about what it cannot honor, so a
+    # sweep never silently measures something else than .run() would.
+    if run.nodes is not None:
+        experiment.nodes(run.nodes)
+    if run.duration is not None:
+        experiment.duration(run.duration)
+    if run.scenario is None:
+        if run.churn:
+            experiment.churn(True, interval=run.churn_interval)
+        else:
+            experiment.churn(False)
+    elif run.churn:
+        # Scenarios script their own adversary; only an explicitly
+        # requested churn is worth the builder's "ignored" warning.
+        experiment.churn(True, interval=run.churn_interval)
+    if run.network:
+        experiment.network(**dict(run.network))
+    if run.faults:
+        experiment.faults(*run.faults, seed=run.fault_seed,
+                          start_after=run.fault_start_after)
+    elif run.fault_seed is not None:
+        experiment.faults(seed=run.fault_seed)
+    if run.options:
+        experiment.options(**dict(run.options))
+    return experiment.run()
+
+
+def summarize_report(report: RunReport) -> dict[str, Any]:
+    """The deterministic per-run counters campaign rollups aggregate.
+
+    Wall-clock time is deliberately absent: everything here reproduces
+    bit-for-bit from the seeds, which is what makes two runs of the same
+    campaign yield identical aggregate JSON.
+    """
+    accounting = report.accounting()
+    return {
+        "node_count": report.node_count,
+        "simulated_seconds": report.simulated_seconds,
+        "churn_events": report.churn_events,
+        "faults_injected": report.faults_injected(),
+        "fault_types": sorted(report.fault_breakdown()),
+        "violations_predicted": accounting["violations_predicted"],
+        "violations_avoided": accounting["violations_avoided"],
+        "live_inconsistent_states": accounting["live_inconsistent_states"],
+        "violations_observed": report.violations_observed(),
+    }
+
+
+def execute_run(run_dict: dict[str, Any]) -> dict[str, Any]:
+    """Pool worker entry point: run one cell, never raise.
+
+    Takes and returns plain dicts so the pool only ever pickles JSON-shaped
+    data; a failing run becomes an ``"error"`` record carrying the
+    traceback, and the campaign carries on (the nightly log should show the
+    full matrix, not just the first casualty).
+    """
+    run = RunSpec.from_dict(run_dict)
+    started = time.perf_counter()
+    try:
+        report = run_one(run)
+    except Exception:
+        return make_record(
+            run.to_dict(),
+            status="error",
+            wall_clock_seconds=time.perf_counter() - started,
+            error=traceback.format_exc(),
+        )
+    return make_record(
+        run.to_dict(),
+        status="ok",
+        wall_clock_seconds=time.perf_counter() - started,
+        summary=summarize_report(report),
+        report=report.to_dict(),
+    )
+
+
+def default_jobs() -> int:
+    return os.cpu_count() or 1
+
+
+class CampaignRunner:
+    """Execute a :class:`CampaignSpec` and aggregate the results.
+
+    ``jobs=None`` sizes the pool from ``os.cpu_count()``; ``jobs<=1`` (or a
+    single pending run) executes serially in-process.  ``out`` names the
+    JSONL result store; without it, results stay in memory only and
+    ``resume`` has nothing to resume from.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        *,
+        jobs: Optional[int] = None,
+        out: Optional[Union[str, os.PathLike]] = None,
+        progress: Optional[ProgressHook] = None,
+    ) -> None:
+        self.spec = spec
+        self.jobs = jobs
+        self.store = ResultStore(out) if out is not None else None
+        self.progress = progress
+
+    def run(self, *, resume: bool = False) -> CampaignReport:
+        started = time.perf_counter()
+        runs = self.spec.expand()
+
+        completed: dict[str, dict[str, Any]] = {}
+        if resume:
+            if self.store is None:
+                raise ValueError("resume needs a result store (out=...)")
+            # A record only counts as done when its *entire* run dict
+            # matches the current cell — same run_id with a different
+            # duration/nodes/network/options must re-execute, not sneak
+            # stale numbers into the aggregate.
+            wanted = {run.run_id: run.to_dict() for run in runs}
+            completed = {
+                run_id: record
+                for run_id, record in self.store.completed().items()
+                if wanted.get(run_id) == record.get("run")
+            }
+
+        pending = [run for run in runs if run.run_id not in completed]
+        records = list(completed.values())
+
+        jobs = self.jobs if self.jobs is not None else default_jobs()
+        jobs = max(1, min(jobs, len(pending) or 1))
+
+        def collect(record: dict[str, Any]) -> None:
+            if self.store is not None:
+                self.store.append(record)
+            if self.progress is not None:
+                self.progress(record)
+            records.append(record)
+
+        if jobs == 1:
+            for run in pending:
+                collect(execute_run(run.to_dict()))
+        elif pending:
+            with multiprocessing.Pool(processes=jobs) as pool:
+                results = pool.imap_unordered(
+                    execute_run,
+                    [run.to_dict() for run in pending],
+                )
+                for record in results:
+                    collect(record)
+
+        return build_campaign_report(
+            self.spec,
+            runs,
+            records,
+            jobs=jobs,
+            resumed=len(completed),
+            wall_clock_seconds=time.perf_counter() - started,
+        )
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    *,
+    jobs: Optional[int] = None,
+    out: Optional[Union[str, os.PathLike]] = None,
+    resume: bool = False,
+    progress: Optional[ProgressHook] = None,
+) -> CampaignReport:
+    """One-call convenience over :class:`CampaignRunner`."""
+    runner = CampaignRunner(spec, jobs=jobs, out=out, progress=progress)
+    return runner.run(resume=resume)

@@ -1,0 +1,333 @@
+"""Declarative campaign specifications: axes expanded into a run matrix.
+
+A :class:`CampaignSpec` names the axes of a sweep — systems × scenarios ×
+fault presets × seeds × steering modes — plus the settings shared by every
+cell (durations, deployment size, churn, options).  :meth:`CampaignSpec.expand`
+validates every axis value against the live registries (systems, scenarios,
+fault presets, modes) and produces the full cross product as a list of
+:class:`RunSpec` cells, each with a stable ``run_id`` so a partially
+completed campaign can be resumed from its JSONL result store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Sequence, Union
+
+from ..api.experiment import parse_mode
+from ..api.registry import get_system, list_systems
+from ..faults.presets import list_presets
+
+#: The fault-preset combo separator inside one axis value: the axis value
+#: ``"partition+delay"`` is a single cell injecting both presets at once.
+COMBO_SEPARATOR = "+"
+
+#: Axis value meaning "a generic live run, no scripted scenario".
+LIVE_SCENARIO = "live"
+
+
+def _preset_combo(value: Union[str, Sequence[str], None]) -> tuple[str, ...]:
+    """Normalize one faults-axis value into a tuple of preset names."""
+    if value is None:
+        return ()
+    if isinstance(value, str):
+        return tuple(name for name in value.split(COMBO_SEPARATOR) if name)
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of the campaign matrix: everything needed to run it.
+
+    ``RunSpec`` is picklable and JSON-round-trippable (``to_dict`` /
+    ``from_dict``) so cells can cross process boundaries into pool workers
+    and be re-identified in a result store across campaign invocations.
+    """
+
+    system: str
+    scenario: Optional[str] = None
+    mode: str = "off"
+    seed: int = 0
+    faults: tuple[str, ...] = ()
+    fault_seed: Optional[int] = None
+    fault_start_after: Optional[float] = None
+    nodes: Optional[int] = None
+    duration: Optional[float] = None
+    churn: bool = False
+    churn_interval: Optional[float] = None
+    #: simple network scalars (rtt/loss/jitter/rst_loss) for live runs.
+    network: tuple[tuple[str, float], ...] = ()
+    options: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def run_id(self) -> str:
+        """Stable identity of this cell, independent of execution order."""
+        return ":".join(
+            (
+                self.system,
+                self.scenario or LIVE_SCENARIO,
+                COMBO_SEPARATOR.join(self.faults) or "none",
+                self.mode,
+                f"seed={self.seed}",
+            )
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "run_id": self.run_id,
+            "system": self.system,
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "seed": self.seed,
+            "faults": list(self.faults),
+            "fault_seed": self.fault_seed,
+            "fault_start_after": self.fault_start_after,
+            "nodes": self.nodes,
+            "duration": self.duration,
+            "churn": self.churn,
+            "churn_interval": self.churn_interval,
+            "network": dict(self.network),
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        return cls(
+            system=data["system"],
+            scenario=data.get("scenario"),
+            mode=data.get("mode", "off"),
+            seed=int(data.get("seed", 0)),
+            faults=tuple(data.get("faults") or ()),
+            fault_seed=data.get("fault_seed"),
+            fault_start_after=data.get("fault_start_after"),
+            nodes=data.get("nodes"),
+            duration=data.get("duration"),
+            churn=bool(data.get("churn", False)),
+            churn_interval=data.get("churn_interval"),
+            network=tuple(sorted((data.get("network") or {}).items())),
+            options=tuple(sorted((data.get("options") or {}).items())),
+        )
+
+
+@dataclass
+class CampaignSpec:
+    """Axes and shared settings of one sweep.
+
+    Axes (each a sequence; the cross product is the run matrix):
+
+    * ``systems`` — registered system names (default: every system);
+    * ``scenarios`` — scripted scenario names, ``None`` / ``"live"`` for a
+      generic live run (default: live only);
+    * ``fault_presets`` — fault-preset combos per cell: a name, a
+      ``"name+name"`` combo string, a sequence of names, or ``None`` for a
+      fault-free cell (default: fault-free only);
+    * ``seeds`` — run seeds (default: seed 0);
+    * ``modes`` — CrystalBall modes (default: ``off``).
+
+    Shared settings: ``nodes``, ``duration`` (scalar, or per-system via
+    ``durations``), ``churn`` (off by default so the named faults are the
+    only adversary), ``network`` (simple scalars: rtt/loss/jitter/
+    rst_loss), ``options``, ``fault_seed``.
+    """
+
+    systems: Optional[Sequence[str]] = None
+    scenarios: Sequence[Optional[str]] = (None,)
+    fault_presets: Sequence[Union[str, Sequence[str], None]] = (None,)
+    seeds: Sequence[int] = (0,)
+    modes: Sequence[str] = ("off",)
+    nodes: Optional[int] = None
+    duration: Optional[float] = None
+    durations: Mapping[str, float] = field(default_factory=dict)
+    churn: bool = False
+    churn_interval: Optional[float] = None
+    network: Mapping[str, float] = field(default_factory=dict)
+    options: Mapping[str, Any] = field(default_factory=dict)
+    fault_seed: Optional[int] = None
+    fault_start_after: Optional[float] = None
+
+    def axes_dict(self) -> dict[str, Any]:
+        """The axes as plain JSON data (for reports and result stores)."""
+        return {
+            "systems": list(self._system_names()),
+            "scenarios": [scenario or LIVE_SCENARIO for scenario in self.scenarios],
+            "fault_presets": [
+                COMBO_SEPARATOR.join(_preset_combo(combo)) or "none"
+                for combo in self.fault_presets
+            ],
+            "seeds": [int(seed) for seed in self.seeds],
+            "modes": list(self.modes),
+        }
+
+    def _system_names(self) -> list[str]:
+        if self.systems is None:
+            return [spec.name for spec in list_systems()]
+        return list(self.systems)
+
+    def _duration_for(self, system: str) -> Optional[float]:
+        if system in self.durations:
+            return float(self.durations[system])
+        return self.duration
+
+    def expand(self) -> list[RunSpec]:
+        """Validate every axis value and return the full run matrix.
+
+        Raises ``ValueError`` on an unknown system, scenario, fault preset
+        or mode — before any run starts, so a typo fails the whole campaign
+        fast instead of 30 runs in.
+        """
+        systems = self._system_names()
+        if not systems:
+            raise ValueError("campaign has no systems to run")
+        specs = {}
+        for name in systems:
+            try:
+                specs[name] = get_system(name)
+            except KeyError as exc:
+                raise ValueError(exc.args[0]) from None
+
+        known_presets = set(list_presets())
+        combos = [_preset_combo(combo) for combo in self.fault_presets]
+        for combo in combos:
+            for preset in combo:
+                if preset not in known_presets:
+                    raise ValueError(
+                        f"unknown fault preset {preset!r} "
+                        f"(known presets: {', '.join(sorted(known_presets))})"
+                    )
+
+        modes = [parse_mode(mode).value for mode in self.modes]
+
+        scenarios = [
+            None if name in (None, LIVE_SCENARIO) else name for name in self.scenarios
+        ]
+        for name in scenarios:
+            if name is None:
+                continue
+            for system in systems:
+                try:
+                    specs[system].scenario(name)
+                except KeyError as exc:
+                    raise ValueError(exc.args[0]) from None
+        if any(name is not None for name in scenarios) and any(combos):
+            # A scripted scenario runs its own scripted adversary; a
+            # fault-preset axis crossed with it would be silently ignored
+            # while still labelling the records — refuse the ambiguity.
+            raise ValueError(
+                "fault presets cannot be combined with scripted scenarios "
+                "(scenarios script their own faults); sweep scenarios with "
+                "presets=none, or sweep presets over live runs"
+            )
+
+        # Durations may name any registered system (a narrowed campaign can
+        # reuse the full matrix's duration table) — but a typo'd name that
+        # matches nothing registered would silently fall back to defaults.
+        registered = {spec.name for spec in list_systems()} | set(systems)
+        unknown_durations = set(self.durations) - registered
+        if unknown_durations:
+            raise ValueError(
+                f"per-system duration(s) for unknown system(s) "
+                f"{sorted(unknown_durations)} (registered systems: "
+                f"{', '.join(sorted(registered))})"
+            )
+
+        known_network = {"rtt", "loss", "jitter", "rst_loss"}
+        unknown_network = set(self.network) - known_network
+        if unknown_network:
+            raise ValueError(
+                f"unknown network setting(s) {sorted(unknown_network)} "
+                f"(accepted: {sorted(known_network)})"
+            )
+
+        network = tuple(sorted(self.network.items()))
+        options = tuple(sorted(self.options.items()))
+        runs = []
+        for system in systems:
+            for scenario in scenarios:
+                for combo in combos:
+                    for mode in modes:
+                        for seed in self.seeds:
+                            runs.append(
+                                RunSpec(
+                                    system=system,
+                                    scenario=scenario,
+                                    mode=mode,
+                                    seed=int(seed),
+                                    faults=combo,
+                                    fault_seed=self.fault_seed,
+                                    fault_start_after=self.fault_start_after,
+                                    nodes=self.nodes,
+                                    duration=self._duration_for(system),
+                                    churn=self.churn,
+                                    churn_interval=self.churn_interval,
+                                    network=network,
+                                    options=options,
+                                )
+                            )
+        return runs
+
+
+def parse_seed_values(raw: str) -> list[int]:
+    """Parse a seeds-axis string: ``"3"``, ``"1,5,9"``, ``"0-7"`` or a mix."""
+    seeds = []
+    for chunk in raw.split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        low, sep, high = chunk.partition("-")
+        if sep and low and high:
+            start, stop = int(low), int(high)
+            if stop < start:
+                raise ValueError(f"empty seed range {chunk!r}")
+            seeds.extend(range(start, stop + 1))
+        else:
+            seeds.append(int(chunk))
+    if not seeds:
+        raise ValueError(f"no seeds in {raw!r}")
+    return seeds
+
+
+def parse_axes(pairs: Mapping[str, str]) -> dict[str, Any]:
+    """Turn CLI ``--axes key=values`` pairs into CampaignSpec axis kwargs.
+
+    Keys: ``systems``, ``scenarios``, ``presets`` (alias ``faults``),
+    ``seeds``, ``modes``.  Values are comma-separated; ``all`` expands to
+    every registered system / fault preset; ``none`` gives a fault-free or
+    live-only axis value; preset combos use ``+`` (``partition+delay``).
+    """
+    kwargs: dict[str, Any] = {}
+    for key, raw in pairs.items():
+        values = [value for value in raw.split(",") if value]
+        if not values:
+            raise ValueError(f"axis {key!r} has no values")
+        if key == "systems":
+            # "all" may arrive mixed with named systems when repeated
+            # --axes flags were merged; it subsumes every other value.
+            if "all" in values:
+                kwargs["systems"] = None
+            else:
+                kwargs["systems"] = values
+        elif key == "scenarios":
+            kwargs["scenarios"] = [
+                None if value in ("none", LIVE_SCENARIO) else value for value in values
+            ]
+        elif key in ("presets", "faults"):
+            if "all" in values:
+                # "all" subsumes every named preset but not the fault-free
+                # cell, which stays an explicit extra axis value.
+                kwargs["fault_presets"] = list(list_presets())
+                if "none" in values:
+                    kwargs["fault_presets"].append(None)
+            else:
+                kwargs["fault_presets"] = [
+                    None if value == "none" else value for value in values
+                ]
+        elif key == "seeds":
+            kwargs["seeds"] = parse_seed_values(raw)
+        elif key == "modes":
+            kwargs["modes"] = values
+        else:
+            raise ValueError(
+                f"unknown campaign axis {key!r} (axes: systems, scenarios, "
+                f"presets, seeds, modes)"
+            )
+    return kwargs

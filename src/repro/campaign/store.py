@@ -1,0 +1,99 @@
+"""Append-only JSONL result store: one line per completed campaign run.
+
+Records are streamed to disk as the worker pool finishes them, so a
+crashed or interrupted campaign keeps everything it already paid for;
+``--resume`` loads the store and skips the cells that already succeeded.
+The line order reflects completion order (worker count may vary it) —
+aggregation always re-sorts by ``run_id``, so the on-disk order never
+affects the campaign report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator, Optional, Union
+
+#: Bumped when the record layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+class ResultStore:
+    """JSONL store of campaign run records at ``path``.
+
+    Each line is one JSON object::
+
+        {"schema": 1, "run": {...RunSpec...}, "status": "ok"|"error",
+         "error": null|str, "wall_clock_seconds": float,
+         "summary": {...}|null, "report": {...}|null}
+    """
+
+    def __init__(self, path: Union[str, os.PathLike]) -> None:
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Write one record and flush, so a crash loses at most one line."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        """Yield every parseable record; a torn trailing line is skipped."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    # A crash mid-append leaves at most one torn line; the
+                    # corresponding run simply reruns on resume.
+                    continue
+
+    def load(self) -> list[dict[str, Any]]:
+        return list(self)
+
+    def completed(self) -> dict[str, dict[str, Any]]:
+        """Latest successful record per ``run_id`` (what resume skips)."""
+        done: dict[str, dict[str, Any]] = {}
+        for record in self:
+            run_id = (record.get("run") or {}).get("run_id")
+            if run_id is None:
+                continue
+            if record.get("status") == "ok":
+                done[run_id] = record
+            else:
+                # A later failure supersedes an earlier success (e.g. the
+                # store was reused across code changes): rerun it.
+                done.pop(run_id, None)
+        return done
+
+
+def make_record(
+    run_dict: dict[str, Any],
+    *,
+    status: str,
+    wall_clock_seconds: float,
+    summary: Optional[dict[str, Any]] = None,
+    report: Optional[dict[str, Any]] = None,
+    error: Optional[str] = None,
+) -> dict[str, Any]:
+    """Assemble one store record in the canonical shape."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "run": run_dict,
+        "status": status,
+        "error": error,
+        "wall_clock_seconds": wall_clock_seconds,
+        "summary": summary,
+        "report": report,
+    }

@@ -29,7 +29,7 @@ from ..mc.properties import SafetyProperty
 from ..mc.search import PredictedViolation, SearchBudget, SearchResult
 from ..mc.transition import TransitionConfig, TransitionSystem
 from ..runtime.address import Address
-from ..runtime.events import Event, MessageEvent, TimerEvent
+from ..runtime.events import Event
 from ..runtime.messages import Message, Transport
 from ..runtime.protocol import Protocol
 from ..runtime.simulator import FilterAction, SimNode, Simulator
@@ -38,7 +38,7 @@ from .event_filter import EventFilter
 from .immediate import ImmediateSafetyCheck
 from .replay import replay_error_path
 from .snapshot import NeighborhoodSnapshot, SnapshotGather
-from .steering import SteeringDecision, evaluate_violation
+from .steering import evaluate_violation
 
 #: Control-plane message types used by the checkpoint manager.
 CHECKPOINT_REQUEST = "_cb_checkpoint_request"

@@ -12,7 +12,7 @@ checker's dummy node.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Optional
+from typing import Mapping, Optional
 
 from ..mc.global_state import GlobalState
 from ..runtime.address import Address

@@ -19,7 +19,7 @@ from ..mc.properties import SafetyProperty, check_all
 from ..mc.search import PredictedViolation, SearchBudget
 from ..mc.transition import TransitionSystem
 from ..runtime.address import Address
-from ..runtime.events import Event, MessageEvent, ResetEvent, TimerEvent
+from ..runtime.events import Event, MessageEvent, TimerEvent
 from ..runtime.simulator import FilterAction
 from .consequence import consequence_prediction
 from .event_filter import EventFilter, derive_filter

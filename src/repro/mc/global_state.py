@@ -10,13 +10,12 @@ over fault scenarios stay bounded.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Mapping, Optional
 
 from ..runtime.address import Address
 from ..runtime.messages import Message
-from ..runtime.serialization import estimate_size, freeze
+from ..runtime.serialization import freeze
 from ..runtime.state import NodeState
 
 

@@ -9,12 +9,12 @@ immediate safety check.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
 from ..runtime.address import Address
 from ..runtime.state import NodeState
-from .global_state import GlobalState, NodeLocal
+from .global_state import GlobalState
 
 
 @dataclass(frozen=True)

@@ -10,8 +10,8 @@ runtime executes.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
-from typing import Iterable, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Optional
 
 from ..runtime.address import Address
 from ..runtime.context import HandlerContext

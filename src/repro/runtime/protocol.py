@@ -9,7 +9,7 @@ live runtime, by consequence prediction, and by the immediate safety check.
 from __future__ import annotations
 
 import abc
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Mapping, Sequence
 
 from .address import Address
 from .context import HandlerContext

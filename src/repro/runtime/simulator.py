@@ -20,10 +20,10 @@ import itertools
 import random
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Iterable, Mapping, Optional, Protocol as TypingProtocol
+from typing import Any, Callable, Mapping, Optional, Protocol as TypingProtocol
 
 from .address import Address
-from .context import HandlerContext, TimerOp
+from .context import HandlerContext
 from .events import (
     AppEvent,
     ConnectionErrorEvent,

@@ -11,7 +11,7 @@ loss probabilities that the runtime's network model can consume.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import networkx as nx

@@ -16,14 +16,13 @@ deprecation shim so existing imports keep working.  New code should write::
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from ..core.controller import (
     CrystalBallConfig,
     CrystalBallController,
     Mode,
-    attach_crystalball,
 )
 from ..core.monitor import LivePropertyMonitor
 from ..mc.properties import SafetyProperty

@@ -17,7 +17,7 @@ shadow entries when the transport refuses the message.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional, Sequence
+from typing import Mapping, Optional
 
 from ...runtime.address import Address
 from ...runtime.context import HandlerContext

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from ...core.controller import CrystalBallConfig, Mode, attach_crystalball
 from ...mc.search import SearchBudget

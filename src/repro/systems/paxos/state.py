@@ -8,7 +8,7 @@ are totally ordered and unique per proposer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
 from ...runtime.address import Address
 from ...runtime.state import NodeState

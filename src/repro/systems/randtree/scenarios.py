@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ...mc.global_state import GlobalState, NodeLocal
+from ...mc.global_state import GlobalState
 from ...runtime.address import Address
 from .protocol import RECOVERY_TIMER, RandTree, RandTreeConfig
 from .state import RandTreeState

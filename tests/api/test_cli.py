@@ -5,8 +5,6 @@ import os
 import subprocess
 import sys
 
-import pytest
-
 from repro.api.cli import main
 
 REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")

@@ -15,7 +15,6 @@ from repro.systems.randtree import ALL_PROPERTIES, RandTree, RandTreeConfig
 
 
 def _legacy_randtree(seed):
-    addresses_holder = {}
     config = RandTreeConfig(max_children=2)
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", DeprecationWarning)

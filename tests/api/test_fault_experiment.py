@@ -7,7 +7,7 @@ import pytest
 
 from repro.api import Experiment
 from repro.api.cli import main
-from repro.faults import ClockSkew, Partition, list_presets
+from repro.faults import Partition, list_presets
 
 
 def test_builder_faults_with_preset_names():

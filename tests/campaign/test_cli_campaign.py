@@ -1,0 +1,115 @@
+"""The ``python -m repro campaign`` subcommand."""
+
+import json
+
+from repro.api.cli import main
+
+
+def test_campaign_runs_a_tiny_matrix_and_prints_the_table(capsys, tmp_path):
+    store = tmp_path / "store.jsonl"
+    assert main(["campaign",
+                 "--axes", "systems=randtree,paxos",
+                 "--axes", "presets=partition",
+                 "--axes", "seeds=1",
+                 "--duration", "30",
+                 "--jobs", "1",
+                 "--out", str(store)]) == 0
+    out = capsys.readouterr().out
+    assert "campaign: 2 runs (ok 2, failed 0)" in out
+    assert "system=randtree" in out
+    records = [json.loads(line) for line in store.read_text().splitlines()]
+    assert len(records) == 2
+    assert all(record["status"] == "ok" for record in records)
+
+
+def test_campaign_json_aggregate_is_machine_readable(capsys):
+    assert main(["campaign",
+                 "--axes", "systems=randtree",
+                 "--axes", "presets=partition,none",
+                 "--axes", "seeds=1",
+                 "--duration", "30",
+                 "--jobs", "1",
+                 "--json"]) == 0
+    aggregate = json.loads(capsys.readouterr().out)
+    assert aggregate["totals"]["runs"] == 2
+    assert aggregate["totals"]["succeeded"] == 2
+    assert set(aggregate["rollups"]["preset"]) == {"partition", "none"}
+    assert aggregate["timing"]["jobs"] == 1
+
+
+def test_campaign_pool_matches_serial_aggregate(capsys):
+    args = ["campaign", "--axes", "systems=randtree,paxos",
+            "--axes", "presets=partition", "--axes", "seeds=1",
+            "--duration", "30", "--json"]
+    assert main(args + ["--jobs", "1"]) == 0
+    serial = json.loads(capsys.readouterr().out)
+    assert main(args + ["--jobs", "2"]) == 0
+    pooled = json.loads(capsys.readouterr().out)
+    serial.pop("timing")
+    pooled.pop("timing")
+    assert serial == pooled
+
+
+def test_campaign_writes_a_markdown_summary(capsys, tmp_path):
+    summary = tmp_path / "summary.md"
+    assert main(["campaign", "--axes", "systems=randtree",
+                 "--axes", "presets=partition", "--axes", "seeds=1",
+                 "--duration", "30", "--jobs", "1",
+                 "--markdown-summary", str(summary)]) == 0
+    capsys.readouterr()
+    text = summary.read_text()
+    assert text.startswith("### Campaign summary")
+    assert "| total |" in text
+
+
+def test_campaign_resume_skips_completed_runs(capsys, tmp_path):
+    store = tmp_path / "store.jsonl"
+    args = ["campaign", "--axes", "systems=randtree",
+            "--axes", "presets=partition,none", "--axes", "seeds=1",
+            "--duration", "30", "--jobs", "1", "--out", str(store), "--json"]
+    assert main(args) == 0
+    first = json.loads(capsys.readouterr().out)
+    assert main(args + ["--resume"]) == 0
+    second = json.loads(capsys.readouterr().out)
+    assert second["timing"]["resumed_runs"] == 2
+    first.pop("timing")
+    second.pop("timing")
+    assert first == second
+
+
+def test_campaign_fail_on_violation_gates_the_exit_code(capsys):
+    # A partitioned randtree run with steering off reliably observes
+    # inconsistent states at this duration/seed.
+    assert main(["campaign", "--axes", "systems=randtree",
+                 "--axes", "presets=partition", "--axes", "seeds=1",
+                 "--duration", "60", "--jobs", "1",
+                 "--fail-on-violation"]) == 1
+    err = capsys.readouterr().err
+    assert "safety violation" in err
+
+
+def test_campaign_repeated_axes_flags_for_the_same_key_merge(capsys):
+    assert main(["campaign", "--axes", "systems=randtree",
+                 "--axes", "presets=partition", "--axes", "presets=crash",
+                 "--axes", "seeds=1", "--duration", "30", "--jobs", "1",
+                 "--json"]) == 0
+    aggregate = json.loads(capsys.readouterr().out)
+    assert set(aggregate["rollups"]["preset"]) == {"partition", "crash"}
+
+
+def test_campaign_markdown_summary_creates_parent_directories(capsys, tmp_path):
+    summary = tmp_path / "deep" / "nested" / "summary.md"
+    assert main(["campaign", "--axes", "systems=randtree",
+                 "--axes", "seeds=1", "--duration", "20", "--jobs", "1",
+                 "--markdown-summary", str(summary)]) == 0
+    capsys.readouterr()
+    assert summary.read_text().startswith("### Campaign summary")
+
+
+def test_campaign_per_system_durations(capsys):
+    assert main(["campaign", "--axes", "systems=randtree,paxos",
+                 "--axes", "seeds=1", "--jobs", "1",
+                 "--duration", "randtree=30", "--duration", "paxos=20",
+                 "--json"]) == 0
+    aggregate = json.loads(capsys.readouterr().out)
+    assert aggregate["totals"]["runs"] == 2

@@ -1,0 +1,122 @@
+"""Campaign aggregation math and rendering."""
+
+import json
+
+from repro.campaign import (
+    CampaignSpec,
+    build_campaign_report,
+    make_record,
+    render_campaign_report,
+)
+from repro.campaign.spec import RunSpec
+
+
+def _summary(**overrides):
+    summary = {"node_count": 4, "simulated_seconds": 30.0, "churn_events": 0,
+               "faults_injected": 2, "fault_types": ["partition"],
+               "violations_predicted": 1, "violations_avoided": 1,
+               "live_inconsistent_states": 3, "violations_observed": 3}
+    summary.update(overrides)
+    return summary
+
+
+def _fixture():
+    spec = CampaignSpec(systems=["randtree", "paxos"],
+                        fault_presets=["partition"], seeds=[1])
+    runs = spec.expand()
+    records = [
+        make_record(runs[0].to_dict(), status="ok", wall_clock_seconds=1.0,
+                    summary=_summary()),
+        make_record(runs[1].to_dict(), status="error", wall_clock_seconds=2.0,
+                    error="Traceback ...\nValueError: boom"),
+    ]
+    return spec, runs, records
+
+
+def test_totals_and_rollups_fold_only_successful_summaries():
+    spec, runs, records = _fixture()
+    report = build_campaign_report(spec, runs, records, jobs=2)
+    assert report.totals["runs"] == 2
+    assert report.totals["succeeded"] == 1
+    assert report.totals["failed"] == 1
+    assert report.totals["faults_injected"] == 2
+    assert report.totals["violations_observed"] == 3
+    assert report.rollups["system"]["randtree"]["succeeded"] == 1
+    assert report.rollups["system"]["paxos"]["failed"] == 1
+    assert report.rollups["preset"]["partition"]["runs"] == 2
+    (failure,) = report.failures
+    assert failure["run_id"] == runs[1].run_id
+    assert "boom" in failure["error"]
+
+
+def test_aggregate_order_is_independent_of_completion_order():
+    spec, runs, records = _fixture()
+    forward = build_campaign_report(spec, runs, records, jobs=2)
+    backward = build_campaign_report(spec, runs, list(reversed(records)),
+                                     jobs=2)
+    assert forward.deterministic_dict() == backward.deterministic_dict()
+
+
+def test_deterministic_dict_excludes_timing():
+    spec, runs, records = _fixture()
+    report = build_campaign_report(spec, runs, records, jobs=2,
+                                   wall_clock_seconds=12.5)
+    data = report.to_dict()
+    assert data["timing"]["wall_clock_seconds"] == 12.5
+    deterministic = report.deterministic_dict()
+    assert "timing" not in deterministic
+    assert "wall_clock" not in json.dumps(deterministic)
+
+
+def test_faultless_runs_flags_presets_that_injected_nothing():
+    spec = CampaignSpec(systems=["randtree"], fault_presets=["partition"],
+                        seeds=[1])
+    runs = spec.expand()
+    records = [make_record(runs[0].to_dict(), status="ok",
+                           wall_clock_seconds=1.0,
+                           summary=_summary(faults_injected=0))]
+    report = build_campaign_report(spec, runs, records, jobs=1)
+    assert report.faultless_runs() == [runs[0].run_id]
+
+
+def test_render_plain_text_contains_rollups_and_failures():
+    spec, runs, records = _fixture()
+    report = build_campaign_report(spec, runs, records, jobs=2)
+    text = render_campaign_report(report)
+    assert "campaign: 2 runs (ok 1, failed 1)" in text
+    assert "system=randtree" in text
+    assert "ValueError: boom" in text
+
+
+def test_render_markdown_is_a_github_table():
+    spec, runs, records = _fixture()
+    report = build_campaign_report(spec, runs, records, jobs=2)
+    text = render_campaign_report(report, markdown=True)
+    assert text.startswith("### Campaign summary")
+    assert "| axis | runs | ok |" in text
+    assert "| total | 2 | 1 | 1 |" in text
+    assert "#### Failures (1)" in text
+
+
+def test_missing_records_do_not_break_aggregation():
+    spec, runs, _ = _fixture()
+    report = build_campaign_report(spec, runs, [], jobs=1)
+    assert report.totals["runs"] == 0
+    assert report.runs == []
+
+
+def test_single_valued_axes_are_elided_from_the_table():
+    spec = CampaignSpec(systems=["randtree"], fault_presets=["partition"],
+                        seeds=[1])
+    runs = spec.expand()
+    records = [make_record(run.to_dict(), status="ok", wall_clock_seconds=1.0,
+                           summary=_summary()) for run in runs]
+    text = render_campaign_report(
+        build_campaign_report(spec, runs, records, jobs=1))
+    assert "mode=off" not in text, "single-valued mode axis repeats totals"
+    assert "system=randtree" in text
+
+
+def test_runspec_helper_used_by_fixture_round_trips():
+    run = RunSpec(system="randtree", faults=("partition",), seed=1)
+    assert RunSpec.from_dict(run.to_dict()) == run

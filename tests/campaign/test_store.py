@@ -1,0 +1,64 @@
+"""JSONL result store: streaming appends, torn lines, resume bookkeeping."""
+
+import json
+
+from repro.campaign import ResultStore, make_record
+
+
+def _record(run_id, status="ok", **summary):
+    return make_record(
+        {"run_id": run_id, "system": "randtree", "faults": [], "mode": "off",
+         "seed": 0, "scenario": None},
+        status=status,
+        wall_clock_seconds=0.5,
+        summary=summary or {"faults_injected": 1},
+        error=None if status == "ok" else "boom",
+    )
+
+
+def test_append_streams_one_json_line_per_record(tmp_path):
+    store = ResultStore(tmp_path / "store.jsonl")
+    store.append(_record("a"))
+    store.append(_record("b"))
+    lines = (tmp_path / "store.jsonl").read_text().strip().splitlines()
+    assert len(lines) == 2
+    assert json.loads(lines[0])["run"]["run_id"] == "a"
+    assert [r["run"]["run_id"] for r in store.load()] == ["a", "b"]
+
+
+def test_append_creates_parent_directories(tmp_path):
+    store = ResultStore(tmp_path / "deep" / "nested" / "store.jsonl")
+    store.append(_record("a"))
+    assert store.exists()
+
+
+def test_torn_trailing_line_is_skipped(tmp_path):
+    path = tmp_path / "store.jsonl"
+    store = ResultStore(path)
+    store.append(_record("a"))
+    with path.open("a") as handle:
+        handle.write('{"run": {"run_id": "b"}, "status"')  # crash mid-write
+    assert [r["run"]["run_id"] for r in store.load()] == ["a"]
+
+
+def test_completed_keeps_latest_success_per_run(tmp_path):
+    store = ResultStore(tmp_path / "store.jsonl")
+    store.append(_record("a"))
+    store.append(_record("b", status="error"))
+    store.append(_record("b"))
+    done = store.completed()
+    assert set(done) == {"a", "b"}
+
+
+def test_completed_drops_runs_whose_latest_record_failed(tmp_path):
+    store = ResultStore(tmp_path / "store.jsonl")
+    store.append(_record("a"))
+    store.append(_record("a", status="error"))
+    assert store.completed() == {}
+
+
+def test_missing_store_loads_empty(tmp_path):
+    store = ResultStore(tmp_path / "absent.jsonl")
+    assert not store.exists()
+    assert store.load() == []
+    assert store.completed() == {}

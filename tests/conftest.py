@@ -5,8 +5,8 @@ from __future__ import annotations
 import pytest
 
 from repro.mc import SearchBudget, TransitionConfig, TransitionSystem
-from repro.runtime import Address, make_addresses
-from repro.systems.randtree import Figure2Scenario, RandTree, RandTreeConfig
+from repro.runtime import make_addresses
+from repro.systems.randtree import Figure2Scenario
 
 
 @pytest.fixture

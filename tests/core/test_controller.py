@@ -2,13 +2,12 @@
 
 from repro.core import (
     CrystalBallConfig,
-    CrystalBallController,
     LivePropertyMonitor,
     Mode,
     attach_crystalball,
 )
 from repro.mc import SearchBudget, TransitionConfig
-from repro.runtime import Address, NetworkModel, Simulator, make_addresses
+from repro.runtime import NetworkModel, Simulator, make_addresses
 from repro.systems.randtree import ALL_PROPERTIES, RandTree, RandTreeConfig
 
 
@@ -71,7 +70,7 @@ def test_steering_mode_installs_filters_and_reduces_inconsistencies():
     sim, addrs, controllers = _build_sim(seed=2, mode=Mode.STEERING,
                                          max_states=800, bootstrap_index=1,
                                          fix_recovery_timer=True)
-    monitor = LivePropertyMonitor(ALL_PROPERTIES).install(sim)
+    LivePropertyMonitor(ALL_PROPERTIES).install(sim)
     sim.network.rst_loss_probability = 1.0
     sim.schedule_reset(60.0, addrs[2])
     sim.run(until=200.0)

@@ -1,6 +1,6 @@
 """Tests for global states."""
 
-from repro.mc import ErrorNotification, GlobalState, NodeLocal
+from repro.mc import ErrorNotification, GlobalState
 from repro.runtime import Address, Message
 from repro.systems.randtree import RandTree, RandTreeConfig
 

@@ -1,13 +1,12 @@
 """Tests for the transition system (the ``;`` relation of Figure 4)."""
 
 from repro.mc import GlobalState, TransitionConfig, TransitionSystem
-from repro.runtime import Address, AppEvent, MessageEvent, ResetEvent, TimerEvent
+from repro.runtime import Address, MessageEvent, ResetEvent, TimerEvent
 from repro.systems.randtree import (
     JOIN,
     JOIN_TIMER,
     RandTree,
     RandTreeConfig,
-    RandTreeState,
 )
 
 

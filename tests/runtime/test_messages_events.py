@@ -8,7 +8,6 @@ from repro.runtime import (
     MessageEvent,
     ResetEvent,
     TimerEvent,
-    Transport,
     is_internal,
 )
 

@@ -3,13 +3,11 @@
 from repro.runtime import (
     Address,
     FilterAction,
-    HandlerContext,
     Message,
     NetworkModel,
     NodeState,
     Protocol,
     Simulator,
-    TimerEvent,
     Transport,
     make_addresses,
 )

@@ -6,8 +6,6 @@ inconsistency the paper describes — and that the paper's suggested fix makes
 the prediction disappear.
 """
 
-import pytest
-
 from repro.core import consequence_prediction
 from repro.mc import SearchBudget, TransitionConfig, TransitionSystem
 from repro.systems import chord, randtree

@@ -1,9 +1,8 @@
 """Unit tests for Bullet': diff/request logic and the shadow-file-map bug."""
 
-from repro.mc import GlobalState, check_all
+from repro.mc import GlobalState
 from repro.runtime import Address, HandlerContext, Message
 from repro.systems.bulletprime import (
-    ALL_PROPERTIES,
     BLOCK,
     BulletConfig,
     BulletPrime,

@@ -129,7 +129,6 @@ def test_update_pred_accepts_closer_predecessor():
 
 
 def test_get_pred_reply_ordering_bug_and_fix():
-    protocol = _protocol()
     # a_im1 (id 900) has predecessor and successor a_i (id 100).
     a_i, a_im1, a_im2 = Address(1), Address(3), Address(5)
     ids = {a_i: 100, a_im1: 900, a_im2: 800}
