@@ -13,7 +13,11 @@ Package layout
     simulator, network model with TCP failure semantics, churn.
 ``repro.mc``
     Model-checking substrate: global states, exhaustive BFS (the MaceMC
-    baseline), random walks, safety properties.
+    baseline), random walks.
+``repro.properties``
+    First-class property API: the global registry with namespaced ids,
+    severities and tags, safety/cross-node/bounded-liveness combinators,
+    and structured violation records.
 ``repro.core``
     CrystalBall itself: consequence prediction, checkpoint manager and
     consistent neighbourhood snapshots, controller, execution steering,
@@ -36,9 +40,20 @@ Package layout
     executed across a worker pool with a resumable JSONL result store.
 """
 
-from . import analysis, api, campaign, core, faults, mc, runtime, sim, systems
+from . import (
+    analysis,
+    api,
+    campaign,
+    core,
+    faults,
+    mc,
+    properties,
+    runtime,
+    sim,
+    systems,
+)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
-__all__ = ["analysis", "api", "campaign", "core", "faults", "mc", "runtime",
-           "sim", "systems", "__version__"]
+__all__ = ["analysis", "api", "campaign", "core", "faults", "mc",
+           "properties", "runtime", "sim", "systems", "__version__"]

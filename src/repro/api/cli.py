@@ -3,7 +3,9 @@
 Subcommands::
 
     python -m repro list                      # registered systems & scenarios
+    python -m repro properties 'randtree.*'   # the property registry
     python -m repro run randtree --ticks 50 --json
+    python -m repro run randtree --properties 'randtree.*' --json
     python -m repro run paxos --scenario figure13-bug1 --mode steering
 """
 
@@ -55,6 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
     faults_cmd.add_argument("--json", action="store_true", dest="as_json",
                             help="machine-readable output")
 
+    props_cmd = sub.add_parser(
+        "properties",
+        help="list the registered safety/liveness properties")
+    props_cmd.add_argument("pattern", nargs="?", default=None,
+                           help="glob filter over property ids "
+                                "(e.g. 'randtree.*', '*.agreement')")
+    props_cmd.add_argument("--json", action="store_true", dest="as_json",
+                           help="machine-readable output")
+
     run = sub.add_parser("run", help="run one system or scripted scenario")
     run.add_argument("system", help="registered system name (see `list`)")
     run.add_argument("--scenario", default=None,
@@ -83,6 +94,19 @@ def build_parser() -> argparse.ArgumentParser:
                           "repeatable (see `python -m repro faults`)")
     run.add_argument("--fault-seed", type=int, default=None,
                      help="nemesis seed (defaults to run seed + 13)")
+    run.add_argument("--properties", metavar="PATTERN", action="append",
+                     default=[],
+                     help="check only properties matching these id "
+                          "glob(s), comma-separable and repeatable "
+                          "(see `python -m repro properties`); replaces "
+                          "the system's default set")
+    run.add_argument("--exclude-properties", metavar="PATTERN",
+                     action="append", default=[],
+                     help="drop matching properties from the selection "
+                          "(repeatable; needs --properties)")
+    run.add_argument("--full-recheck", action="store_true",
+                     help="disable the live monitor's incremental "
+                          "dirty-node fast path (debugging/benchmarks)")
     run.add_argument("--fail-on-violation", action="store_true",
                      help="exit non-zero when the run observes a safety "
                           "violation (live monitor or scenario outcome)")
@@ -155,6 +179,39 @@ def _cmd_list(as_json: bool) -> int:
                      ", ".join(sorted(spec.scenarios)) or "-", spec.summary])
     print(format_table(["system", "properties", "scenarios", "summary"], rows,
                        title="Registered systems (python -m repro run <system>)"))
+    return 0
+
+
+def _cmd_properties(pattern: Optional[str], as_json: bool) -> int:
+    from ..properties import all_properties, select_properties
+
+    try:
+        props = (select_properties(pattern) if pattern is not None
+                 else all_properties())
+    except ValueError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    props = sorted(props, key=lambda prop: prop.name)
+    if as_json:
+        print(json.dumps([prop.describe() for prop in props],
+                         indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for prop in props:
+        info = prop.describe()
+        rows.append([
+            info["id"], info["kind"], info.get("scope", "-"),
+            info["severity"],
+            ",".join(tag for tag in info["tags"] if tag != "liveness") or "-",
+            (f"within {info['within']:g}s" if "within" in info else "-"),
+            info["description"],
+        ])
+    print(format_table(
+        ["property", "kind", "scope", "severity", "tags", "window",
+         "description"],
+        rows,
+        title="Registered properties "
+              "(python -m repro run <system> --properties <pattern>)"))
     return 0
 
 
@@ -234,6 +291,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         # No preset on the command line, but fault scenarios still honor
         # the nemesis seed.
         experiment.faults(seed=args.fault_seed)
+
+    if args.properties:
+        patterns = [name for chunk in args.properties
+                    for name in chunk.split(",") if name]
+        if not patterns:
+            # An empty selection would silently disable all property
+            # checking and make --fail-on-violation vacuously green.
+            print("error: --properties was given but names no patterns",
+                  file=sys.stderr)
+            return 2
+        exclude = [name for chunk in args.exclude_properties
+                   for name in chunk.split(",") if name]
+        experiment.properties(*patterns, exclude=exclude)
+    elif args.exclude_properties:
+        print("error: --exclude-properties needs --properties",
+              file=sys.stderr)
+        return 2
+    if args.full_recheck:
+        experiment.incremental_monitor(False)
 
     if args.option:
         experiment.options(**dict(args.option))
@@ -353,6 +429,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list(args.as_json)
     if args.command == "faults":
         return _cmd_faults(args.as_json)
+    if args.command == "properties":
+        return _cmd_properties(args.pattern, args.as_json)
     if args.command == "campaign":
         return _cmd_campaign(args)
     return _cmd_run(args)

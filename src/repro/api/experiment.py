@@ -38,8 +38,9 @@ from ..core.monitor import LivePropertyMonitor
 from ..faults.base import Fault
 from ..faults.nemesis import Nemesis
 from ..faults.presets import make_nemesis
-from ..mc.properties import SafetyProperty
 from ..mc.search import SearchBudget, SearchResult
+from ..properties import Property, SafetyProperty, resolve_properties
+from ..properties.registry import PropertySelector
 from ..mc.transition import TransitionConfig, TransitionSystem
 from ..runtime.address import Address, make_addresses
 from ..runtime.churn import ChurnProcess
@@ -124,12 +125,17 @@ def report_from_search(
 ) -> RunReport:
     """Wrap an offline search (a scripted figure scenario) into a report."""
     shortest = result.shortest_violation()
+    by_property: dict[str, int] = {}
+    for predicted in result.violations:
+        name = predicted.violation.property_name
+        by_property[name] = by_property.get(name, 0) + 1
     outcome = {
         "states_visited": result.stats.states_visited,
         "max_depth_reached": result.stats.max_depth_reached,
         "elapsed_seconds": result.stats.elapsed_seconds,
         "violations": len(result.violations),
         "properties_violated": sorted(result.unique_property_names()),
+        "violations_by_property": dict(sorted(by_property.items())),
         "shortest_violation": (str(shortest.violation)
                                if shortest is not None else None),
         "shortest_path": ([event.describe() for event in shortest.path]
@@ -243,7 +249,7 @@ class LiveRun:
     """
 
     protocol_factory: Callable[[], Protocol]
-    properties: Sequence[SafetyProperty]
+    properties: Sequence[Property]
     node_count: int = 6
     duration: float = 600.0
     join_spacing: float = 5.0
@@ -263,6 +269,10 @@ class LiveRun:
     fault_seed: Optional[int] = None
     #: Quiet period before the first fault (defaults to one join round).
     fault_start_after: Optional[float] = None
+    #: Dirty-node fast path for node-scoped properties in the live monitor
+    #: (bit-identical records either way; False forces a full re-check per
+    #: event, which is what the monitor-overhead benchmark compares).
+    incremental_monitor: bool = True
     address_start: int = 1
     #: application call used for staggered joins; None skips join scheduling.
     join_call: Optional[str] = "join"
@@ -298,7 +308,8 @@ class LiveRun:
             controllers = attach_crystalball(
                 sim, self.properties, config=config, nodes=self.checker_nodes)
 
-        monitor = LivePropertyMonitor(self.properties).install(sim)
+        monitor = LivePropertyMonitor(
+            self.properties, incremental=self.incremental_monitor).install(sim)
 
         nemesis: Optional[Nemesis] = None
         if self.faults:
@@ -339,6 +350,10 @@ class LiveRun:
             # Strip still-open fault windows so a caller-supplied network
             # model carries no residue into the next run.
             nemesis.teardown(sim)
+
+        # Liveness obligations whose deadline passed after the last event
+        # still count; finalize is a no-op for pure-safety property sets.
+        monitor.finalize(sim.now)
 
         outcome = self.collect(sim) if self.collect is not None else {}
         return build_run_report(
@@ -381,7 +396,9 @@ class Experiment:
         self._faults: list[Union[str, Fault]] = []
         self._fault_seed: Optional[int] = None
         self._fault_start_after: Optional[float] = None
-        self._properties: Optional[Sequence[SafetyProperty]] = None
+        self._property_selectors: Optional[list[PropertySelector]] = None
+        self._property_exclude: list[str] = []
+        self._incremental_monitor = True
         self._max_events = 500_000
         #: builder knobs the caller set explicitly (used to forward what a
         #: scripted scenario can honor and warn about what it cannot).
@@ -566,10 +583,46 @@ class Experiment:
         self._options.update(options)
         return self
 
-    def properties(self, *properties: SafetyProperty) -> "Experiment":
-        self._properties = list(properties)
+    def properties(self, *selectors: PropertySelector,
+                   exclude: Sequence[str] = ()) -> "Experiment":
+        """Select which properties the run checks, replacing the system's
+        default set.
+
+        Selectors are glob patterns over registered property ids
+        (``"randtree.*"``, ``"*.agreement"``, exact ids) and/or property
+        instances; ``exclude`` patterns are applied after inclusion::
+
+            Experiment("randtree").properties(
+                "randtree.*", exclude=["randtree.recovery_timer_running"])
+
+        Patterns resolve against the global registry when the experiment
+        runs, in registration order (so a namespace selection reproduces
+        the system's historical check order).  A pattern matching nothing
+        raises; an explicit empty selection (no arguments) disables
+        property checking entirely.
+        """
+        self._property_selectors = list(selectors)
+        self._property_exclude = list(exclude)
         self._explicit.add("properties")
         return self
+
+    def incremental_monitor(self, enabled: bool = True) -> "Experiment":
+        """Toggle the live monitor's dirty-node fast path (default on)."""
+        self._incremental_monitor = bool(enabled)
+        if not enabled:
+            # Non-default setting: scenario runs and sweeps cannot honor
+            # it and must warn instead of silently measuring the fast path.
+            self._explicit.add("incremental_monitor")
+        else:
+            self._explicit.discard("incremental_monitor")
+        return self
+
+    def resolved_properties(self) -> list[Property]:
+        """The property set a live run of this experiment would check."""
+        if self._property_selectors is None:
+            return list(self._spec.properties)
+        return resolve_properties(self._property_selectors,
+                                  exclude=self._property_exclude)
 
     # ------------------------------------------------------------------- run
 
@@ -609,7 +662,8 @@ class Experiment:
         unsupported = self._explicit & {
             "network", "churn", "engine", "portfolio", "max_events",
             "properties", "transition", "immediate_check",
-            "check_filter_safety", "checker_nodes", "faults"}
+            "check_filter_safety", "checker_nodes", "faults",
+            "incremental_monitor"}
 
         def forward(setting: str, key: str, value: Any) -> None:
             if key in named:
@@ -648,8 +702,7 @@ class Experiment:
             report.scenario = self._scenario
             return report
 
-        properties = (self._properties if self._properties is not None
-                      else list(self._spec.properties))
+        properties = self.resolved_properties()
         live = LiveRun(
             protocol_factory=self._spec.protocol_factory(
                 self.addresses(), self._options),
@@ -668,6 +721,7 @@ class Experiment:
             faults=tuple(self._faults),
             fault_seed=self._fault_seed,
             fault_start_after=self._fault_start_after,
+            incremental_monitor=self._incremental_monitor,
             join_call=self._spec.join_call,
             schedule=self._spec.schedule,
             collect=self._spec.collect,
@@ -681,6 +735,8 @@ class Experiment:
               faults: Optional[Sequence[Union[str, Sequence[str], None]]] = None,
               modes: Optional[Sequence[str]] = None,
               scenarios: Optional[Sequence[Optional[str]]] = None,
+              properties: Optional[
+                  Sequence[Union[str, Sequence[str], None]]] = None,
               jobs: Optional[int] = None,
               out: Optional[Any] = None,
               resume: bool = False,
@@ -739,9 +795,32 @@ class Experiment:
                 "into worker processes; configure the network from scalars "
                 "instead: network(rtt=..., loss=..., jitter=..., "
                 "rst_loss=...)")
+        property_instances = [
+            sel for sel in (self._property_selectors or [])
+            if not isinstance(sel, str)]
+        if properties is None:
+            if property_instances:
+                raise ValueError(
+                    "sweep() cannot carry Property instances into worker "
+                    "processes; select properties by id pattern instead, "
+                    "e.g. .properties('randtree.*')")
+            if self._property_selectors is not None:
+                property_axis: Sequence[Any] = [
+                    tuple(sel for sel in self._property_selectors
+                          if isinstance(sel, str))]
+            else:
+                property_axis = [None]
+        else:
+            if property_instances:
+                warnings.warn(
+                    "the properties= axis replaces the builder's property "
+                    "selection; its Property instances are dropped from "
+                    "the sweep", UserWarning, stacklevel=2)
+            property_axis = list(properties)
         uncarried = self._explicit & {
-            "engine", "portfolio", "max_events", "properties", "transition",
-            "immediate_check", "check_filter_safety", "checker_nodes"}
+            "engine", "portfolio", "max_events", "transition",
+            "immediate_check", "check_filter_safety", "checker_nodes",
+            "incremental_monitor"}
         if self._cb_config is not None or "search_budget" in self._cb_kwargs:
             uncarried = uncarried | {"crystalball config/budget"}
         if uncarried:
@@ -756,6 +835,8 @@ class Experiment:
             fault_presets=fault_presets,
             seeds=(list(seeds) if seeds is not None else [self._seed]),
             modes=(list(modes) if modes is not None else [self._mode.value]),
+            properties=property_axis,
+            properties_exclude=tuple(self._property_exclude),
             nodes=self._nodes if "nodes" in self._explicit else None,
             duration=(self._duration if "duration" in self._explicit
                       else None),

@@ -21,9 +21,9 @@ import importlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Sequence
 
-from ..mc.properties import SafetyProperty
 from ..mc.search import SearchBudget
 from ..mc.transition import TransitionConfig
+from ..properties import Property, select_properties
 from ..runtime.address import Address
 from ..runtime.protocol import Protocol
 
@@ -59,7 +59,15 @@ class SystemSpec:
     name: str
     summary: str
     protocol_factory: ProtocolFactoryBuilder
-    properties: tuple[SafetyProperty, ...]
+    #: Default property set checked by live runs of this system, in check
+    #: order (order is load-bearing: searches report the first violation
+    #: found, and steering decisions follow from it).
+    properties: tuple[Property, ...]
+    #: Namespace prefix of this system's ids in the global property
+    #: registry (``None`` falls back to the system name); the registry may
+    #: hold more ids under the namespace than ``properties`` checks by
+    #: default — opt-in liveness properties, for example.
+    property_namespace: Optional[str] = None
     #: Factory (not an instance) so no two experiments share mutable config.
     transition_factory: Callable[[], TransitionConfig] = TransitionConfig
     scenarios: Mapping[str, ScenarioSpec] = field(default_factory=dict)
@@ -89,6 +97,16 @@ class SystemSpec:
             raise KeyError(
                 f"system {self.name!r} has no scenario {name!r} "
                 f"(known scenarios: {known})") from None
+
+    def registered_properties(self) -> list[Property]:
+        """Everything registered under this system's property namespace.
+
+        A superset of :attr:`properties`: includes the opt-in properties
+        (bounded liveness, experimental invariants) selectable with
+        ``Experiment.properties("<namespace>.*")``.
+        """
+        namespace = self.property_namespace or self.name
+        return select_properties(f"{namespace}.*")
 
 
 _REGISTRY: dict[str, SystemSpec] = {}

@@ -124,20 +124,58 @@ class RunReport:
         return dict(self.faults.get("by_type", {}))
 
     def violations_observed(self) -> int:
-        """Safety violations this run actually hit (not merely predicted).
+        """Violations this run actually hit (not merely predicted) — the
+        quantity ``--fail-on-violation`` gates on.
 
-        Counts the live monitor's inconsistent states plus the violations
-        offline searches put in ``outcome`` — the quantity
-        ``--fail-on-violation`` gates on.  The scripted scenarios'
-        ``violation_occurred`` flag is partially derived from the same
-        monitor counts, so it only contributes when nothing else did
-        (e.g. Paxos disagreement without a monitor-flagged state).
+        The exact semantics, in order:
+
+        1. the live monitor's ``inconsistent_states`` count — events after
+           which at least one *safety* property was violated in the live
+           global state (a persistent violation counts once per event it
+           persists through, matching Section 5.4.1's "goes through N
+           states that contain inconsistencies");
+        2. plus ``outcome["violations"]`` — the violating states an
+           *offline* search (a scripted figure scenario) found, since
+           those runs have no live monitor;
+        3. plus the monitor's ``liveness_violations`` — expired bounded
+           ``eventually``/``leads_to`` obligations, which never appear in
+           ``inconsistent_states``;
+        4. the scripted scenarios' ``violation_occurred`` flag is partially
+           derived from the same monitor counts, so it only contributes
+           (as 1) when everything above is zero — e.g. Paxos disagreement
+           in a scenario whose monitor never flagged a state.
+
+        Predicted-but-avoided violations (``violations_predicted``,
+        steering/ISC accounting) are deliberately excluded: prediction is
+        the product working, not the system failing.
         """
         count = self.live_inconsistent_states()
         count += int(self.outcome.get("violations") or 0)
+        count += int(self.monitor.get("liveness_violations") or 0)
         if count == 0 and self.outcome.get("violation_occurred"):
             count = 1
         return count
+
+    def violations_by_property(self) -> dict[str, int]:
+        """Observed violations per property id, sorted by id.
+
+        Live runs contribute the monitor's per-property *episode* counts
+        (one per ``(property, node)`` violation stretch, safety and
+        liveness alike); offline scenario runs contribute the per-property
+        counts of the search's violating states.
+        """
+        merged: dict[str, int] = {}
+        for source in (self.monitor.get("violations_by_property") or {},
+                       self.outcome.get("violations_by_property") or {}):
+            for name, count in source.items():
+                merged[name] = merged.get(name, 0) + int(count)
+        return dict(sorted(merged.items()))
+
+    def violations_by_severity(self) -> dict[str, int]:
+        """Monitor violation episodes per severity, sorted by name."""
+        return dict(sorted(
+            (str(key), int(value))
+            for key, value in (self.monitor.get("by_severity") or {}).items()))
 
     def accounting(self) -> dict[str, int]:
         """Predicted-vs-avoided bookkeeping (Sections 5.4.1 and 5.4.2)."""
@@ -167,6 +205,10 @@ class RunReport:
             "churn_events": self.churn_events,
             "totals": self.totals(),
             "accounting": self.accounting(),
+            "properties": {
+                "violations_by_property": self.violations_by_property(),
+                "by_severity": self.violations_by_severity(),
+            },
             "faults": to_jsonable(self.faults),
             "monitor": to_jsonable(self.monitor),
             "outcome": to_jsonable(self.outcome),

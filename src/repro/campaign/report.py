@@ -18,7 +18,13 @@ from dataclasses import dataclass, field
 from typing import Any, Optional, Sequence
 
 from ..analysis.reporting import format_markdown_table, format_table
-from .spec import COMBO_SEPARATOR, LIVE_SCENARIO, CampaignSpec, RunSpec
+from .spec import (
+    COMBO_SEPARATOR,
+    LIVE_SCENARIO,
+    CampaignSpec,
+    RunSpec,
+    properties_label,
+)
 
 #: Summary counters summed into totals and every rollup bucket.
 ROLLUP_COUNTERS = (
@@ -30,6 +36,7 @@ ROLLUP_COUNTERS = (
     "churn_events",
 )
 
+
 #: Rollup axes: name -> key extractor over the run dict of a record.
 _AXES = {
     "system": lambda run: run["system"],
@@ -37,6 +44,7 @@ _AXES = {
     "mode": lambda run: run["mode"],
     "scenario": lambda run: run["scenario"] or LIVE_SCENARIO,
     "seed": lambda run: str(run["seed"]),
+    "properties": lambda run: properties_label(run.get("properties")),
 }
 
 
@@ -67,6 +75,9 @@ class CampaignReport:
     rollups: dict[str, dict[str, dict[str, Any]]]
     failures: list[dict[str, Any]]
     runs: list[dict[str, Any]]
+    #: per-property columns: property id -> {"violations", "runs_affected"},
+    #: folded from every successful run's per-property violation counts.
+    properties: dict[str, dict[str, int]] = field(default_factory=dict)
     timing: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -101,6 +112,7 @@ class CampaignReport:
             "axes": self.axes,
             "totals": self.totals,
             "rollups": self.rollups,
+            "properties": self.properties,
             "failures": self.failures,
             "runs": self.runs,
         }
@@ -130,6 +142,7 @@ def build_campaign_report(
 
     totals = _empty_bucket()
     rollups: dict[str, dict[str, dict[str, Any]]] = {axis: {} for axis in _AXES}
+    properties: dict[str, dict[str, int]] = {}
     failures = []
     run_rows = []
     for record in ordered:
@@ -138,6 +151,16 @@ def build_campaign_report(
         for axis, key_of in _AXES.items():
             bucket = rollups[axis].setdefault(key_of(run), _empty_bucket())
             _fold(bucket, record)
+        if record["status"] == "ok":
+            by_property = (record.get("summary") or {}).get(
+                "violations_by_property"
+            ) or {}
+            for name, count in by_property.items():
+                column = properties.setdefault(
+                    name, {"violations": 0, "runs_affected": 0}
+                )
+                column["violations"] += int(count)
+                column["runs_affected"] += 1
         if record["status"] != "ok":
             failures.append(
                 {
@@ -153,6 +176,8 @@ def build_campaign_report(
                 "faults": list(run["faults"] or []),
                 "mode": run["mode"],
                 "seed": run["seed"],
+                "properties": (list(run["properties"])
+                               if run.get("properties") is not None else None),
                 "status": record["status"],
                 "summary": record.get("summary"),
             }
@@ -161,6 +186,7 @@ def build_campaign_report(
     rollups = {
         axis: dict(sorted(buckets.items())) for axis, buckets in rollups.items()
     }
+    properties = dict(sorted(properties.items()))
     run_wall_clock = sum(
         float(record.get("wall_clock_seconds") or 0.0) for record in ordered
     )
@@ -174,6 +200,7 @@ def build_campaign_report(
         axes=spec.axes_dict(),
         totals=totals,
         rollups=rollups,
+        properties=properties,
         failures=failures,
         runs=run_rows,
         timing=timing,
@@ -192,9 +219,16 @@ _TABLE_COLUMNS = (
 )
 
 
+def _property_rows(report: CampaignReport) -> list[list[Any]]:
+    return [
+        [name, column["violations"], column["runs_affected"]]
+        for name, column in report.properties.items()
+    ]
+
+
 def _rollup_rows(report: CampaignReport) -> list[list[Any]]:
     rows = []
-    for axis in ("system", "preset", "mode", "scenario"):
+    for axis in ("system", "preset", "mode", "scenario", "properties"):
         buckets = report.rollups.get(axis, {})
         if len(buckets) < 2 and axis != "system":
             # A single-valued axis repeats the totals line; skip the noise.
@@ -225,6 +259,8 @@ def render_campaign_report(
 
     headers = ["axis"] + [label for _, label in _TABLE_COLUMNS]
     rows = _rollup_rows(report)
+    property_headers = ["property", "violations", "runs affected"]
+    property_rows = _property_rows(report)
     lines = []
     if markdown:
         lines.append("### Campaign summary")
@@ -232,6 +268,11 @@ def render_campaign_report(
         lines.append(headline)
         lines.append("")
         lines.append(format_markdown_table(headers, rows))
+        if property_rows:
+            lines.append("")
+            lines.append("#### Violations by property")
+            lines.append("")
+            lines.append(format_markdown_table(property_headers, property_rows))
         if report.failures:
             lines.append("")
             lines.append(f"#### Failures ({len(report.failures)})")
@@ -242,6 +283,9 @@ def render_campaign_report(
     else:
         lines.append(headline)
         lines.append(format_table(headers, rows, title="per-axis rollups"))
+        if property_rows:
+            lines.append(format_table(property_headers, property_rows,
+                                      title="violations by property"))
         if report.failures:
             lines.append(f"failures ({len(report.failures)}):")
             for failure in report.failures:

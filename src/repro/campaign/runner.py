@@ -56,6 +56,12 @@ def run_one(run: RunSpec) -> RunReport:
                           start_after=run.fault_start_after)
     elif run.fault_seed is not None:
         experiment.faults(seed=run.fault_seed)
+    if run.properties is not None:
+        # Patterns resolve against the worker's registry (the bundled
+        # property modules self-register on import, so the registry is
+        # identical in every worker).
+        experiment.properties(*run.properties,
+                              exclude=run.properties_exclude)
     if run.options:
         experiment.options(**dict(run.options))
     return experiment.run()
@@ -79,6 +85,9 @@ def summarize_report(report: RunReport) -> dict[str, Any]:
         "violations_avoided": accounting["violations_avoided"],
         "live_inconsistent_states": accounting["live_inconsistent_states"],
         "violations_observed": report.violations_observed(),
+        "violation_episodes": int(
+            report.monitor.get("distinct_violation_episodes", 0)),
+        "violations_by_property": report.violations_by_property(),
     }
 
 
@@ -147,12 +156,23 @@ class CampaignRunner:
             # A record only counts as done when its *entire* run dict
             # matches the current cell — same run_id with a different
             # duration/nodes/network/options must re-execute, not sneak
-            # stale numbers into the aggregate.
+            # stale numbers into the aggregate.  Stored dicts are
+            # normalized through RunSpec so records written before a new
+            # RunSpec field existed still match when the new field holds
+            # its default (from_dict fills defaults for absent keys).
             wanted = {run.run_id: run.to_dict() for run in runs}
+
+            def normalized(run_dict: Any) -> Optional[dict[str, Any]]:
+                try:
+                    return RunSpec.from_dict(run_dict).to_dict()
+                except Exception:
+                    return None  # torn/foreign record: not resumable
+
             completed = {
                 run_id: record
                 for run_id, record in self.store.completed().items()
-                if wanted.get(run_id) == record.get("run")
+                if run_id in wanted
+                and normalized(record.get("run")) == wanted[run_id]
             }
 
         pending = [run for run in runs if run.run_id not in completed]

@@ -17,13 +17,19 @@ from typing import Any, Mapping, Optional, Sequence, Union
 from ..api.experiment import parse_mode
 from ..api.registry import get_system, list_systems
 from ..faults.presets import list_presets
+from ..properties import select_properties
 
-#: The fault-preset combo separator inside one axis value: the axis value
-#: ``"partition+delay"`` is a single cell injecting both presets at once.
+#: The combo separator inside one axis value: the faults-axis value
+#: ``"partition+delay"`` is a single cell injecting both presets at once,
+#: and the properties-axis value ``"randtree.*+chord.*"`` is a single cell
+#: checking both selections.
 COMBO_SEPARATOR = "+"
 
 #: Axis value meaning "a generic live run, no scripted scenario".
 LIVE_SCENARIO = "live"
+
+#: Properties-axis value meaning "the system's default property set".
+DEFAULT_PROPERTIES = "default"
 
 
 def _preset_combo(value: Union[str, Sequence[str], None]) -> tuple[str, ...]:
@@ -33,6 +39,31 @@ def _preset_combo(value: Union[str, Sequence[str], None]) -> tuple[str, ...]:
     if isinstance(value, str):
         return tuple(name for name in value.split(COMBO_SEPARATOR) if name)
     return tuple(value)
+
+
+def _property_combo(
+    value: Union[str, Sequence[str], None],
+) -> Optional[tuple[str, ...]]:
+    """Normalize one properties-axis value into selection patterns.
+
+    ``None`` / ``"default"`` keep the system's default property set;
+    ``"none"`` (or an empty sequence) checks nothing; a ``+``-joined
+    string or a sequence is a multi-pattern selection for one cell.
+    """
+    if value is None or value == DEFAULT_PROPERTIES:
+        return None
+    if isinstance(value, str):
+        if value == "none":
+            return ()
+        return tuple(name for name in value.split(COMBO_SEPARATOR) if name)
+    return tuple(value)
+
+
+def properties_label(selection: Optional[Sequence[str]]) -> str:
+    """Canonical axis label of one property selection (rollup/run_id key)."""
+    if selection is None:
+        return DEFAULT_PROPERTIES
+    return COMBO_SEPARATOR.join(selection) or "none"
 
 
 @dataclass(frozen=True)
@@ -51,6 +82,11 @@ class RunSpec:
     faults: tuple[str, ...] = ()
     fault_seed: Optional[int] = None
     fault_start_after: Optional[float] = None
+    #: property-selection patterns; None keeps the system's default set,
+    #: an empty tuple checks nothing.
+    properties: Optional[tuple[str, ...]] = None
+    #: exclusion patterns applied after a non-default selection.
+    properties_exclude: tuple[str, ...] = ()
     nodes: Optional[int] = None
     duration: Optional[float] = None
     churn: bool = False
@@ -60,17 +96,28 @@ class RunSpec:
     options: tuple[tuple[str, Any], ...] = ()
 
     @property
+    def properties_label(self) -> str:
+        """Axis label of this cell's property selection (rollup key)."""
+        return properties_label(self.properties)
+
+    @property
     def run_id(self) -> str:
-        """Stable identity of this cell, independent of execution order."""
-        return ":".join(
-            (
-                self.system,
-                self.scenario or LIVE_SCENARIO,
-                COMBO_SEPARATOR.join(self.faults) or "none",
-                self.mode,
-                f"seed={self.seed}",
-            )
-        )
+        """Stable identity of this cell, independent of execution order.
+
+        The ``props=`` segment is only present for a non-default property
+        selection, so result stores written before the properties axis
+        existed keep matching their run ids.
+        """
+        parts = [
+            self.system,
+            self.scenario or LIVE_SCENARIO,
+            COMBO_SEPARATOR.join(self.faults) or "none",
+            self.mode,
+            f"seed={self.seed}",
+        ]
+        if self.properties is not None:
+            parts.append(f"props={self.properties_label}")
+        return ":".join(parts)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -82,6 +129,9 @@ class RunSpec:
             "faults": list(self.faults),
             "fault_seed": self.fault_seed,
             "fault_start_after": self.fault_start_after,
+            "properties": (list(self.properties)
+                           if self.properties is not None else None),
+            "properties_exclude": list(self.properties_exclude),
             "nodes": self.nodes,
             "duration": self.duration,
             "churn": self.churn,
@@ -92,6 +142,7 @@ class RunSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        raw_properties = data.get("properties")
         return cls(
             system=data["system"],
             scenario=data.get("scenario"),
@@ -100,6 +151,9 @@ class RunSpec:
             faults=tuple(data.get("faults") or ()),
             fault_seed=data.get("fault_seed"),
             fault_start_after=data.get("fault_start_after"),
+            properties=(tuple(raw_properties)
+                        if raw_properties is not None else None),
+            properties_exclude=tuple(data.get("properties_exclude") or ()),
             nodes=data.get("nodes"),
             duration=data.get("duration"),
             churn=bool(data.get("churn", False)),
@@ -122,7 +176,13 @@ class CampaignSpec:
       ``"name+name"`` combo string, a sequence of names, or ``None`` for a
       fault-free cell (default: fault-free only);
     * ``seeds`` — run seeds (default: seed 0);
-    * ``modes`` — CrystalBall modes (default: ``off``).
+    * ``modes`` — CrystalBall modes (default: ``off``);
+    * ``properties`` — property selections per cell: a glob pattern over
+      registered property ids, a ``"pattern+pattern"`` combo string, a
+      sequence of patterns, ``"none"`` for a property-free cell, or
+      ``None`` / ``"default"`` for the system's default set (default:
+      default set only).  ``properties_exclude`` patterns apply to every
+      non-default selection.
 
     Shared settings: ``nodes``, ``duration`` (scalar, or per-system via
     ``durations``), ``churn`` (off by default so the named faults are the
@@ -135,6 +195,8 @@ class CampaignSpec:
     fault_presets: Sequence[Union[str, Sequence[str], None]] = (None,)
     seeds: Sequence[int] = (0,)
     modes: Sequence[str] = ("off",)
+    properties: Sequence[Union[str, Sequence[str], None]] = (None,)
+    properties_exclude: Sequence[str] = ()
     nodes: Optional[int] = None
     duration: Optional[float] = None
     durations: Mapping[str, float] = field(default_factory=dict)
@@ -156,6 +218,10 @@ class CampaignSpec:
             ],
             "seeds": [int(seed) for seed in self.seeds],
             "modes": list(self.modes),
+            "properties": [
+                properties_label(_property_combo(value))
+                for value in self.properties
+            ],
         }
 
     def _system_names(self) -> list[str]:
@@ -197,6 +263,14 @@ class CampaignSpec:
 
         modes = [parse_mode(mode).value for mode in self.modes]
 
+        property_combos = [_property_combo(value) for value in self.properties]
+        for combo in property_combos:
+            if not combo:
+                continue  # default set or explicitly property-free
+            # Validate every pattern against the registry up front: a
+            # typo'd selector fails the whole campaign before any run.
+            select_properties(*combo)
+
         scenarios = [
             None if name in (None, LIVE_SCENARIO) else name for name in self.scenarios
         ]
@@ -216,6 +290,17 @@ class CampaignSpec:
                 "fault presets cannot be combined with scripted scenarios "
                 "(scenarios script their own faults); sweep scenarios with "
                 "presets=none, or sweep presets over live runs"
+            )
+        if any(name is not None for name in scenarios) and any(
+            combo is not None for combo in property_combos
+        ):
+            # Scenario runners install their own property sets; a property
+            # selection crossed with them would be silently ignored while
+            # still labelling the records — refuse the same ambiguity.
+            raise ValueError(
+                "property selections cannot be combined with scripted "
+                "scenarios (scenarios install their own property sets); "
+                "sweep properties over live runs"
             )
 
         # Durations may name any registered system (a narrowed campaign can
@@ -240,29 +325,37 @@ class CampaignSpec:
 
         network = tuple(sorted(self.network.items()))
         options = tuple(sorted(self.options.items()))
+        exclude = tuple(self.properties_exclude)
         runs = []
         for system in systems:
             for scenario in scenarios:
                 for combo in combos:
                     for mode in modes:
-                        for seed in self.seeds:
-                            runs.append(
-                                RunSpec(
-                                    system=system,
-                                    scenario=scenario,
-                                    mode=mode,
-                                    seed=int(seed),
-                                    faults=combo,
-                                    fault_seed=self.fault_seed,
-                                    fault_start_after=self.fault_start_after,
-                                    nodes=self.nodes,
-                                    duration=self._duration_for(system),
-                                    churn=self.churn,
-                                    churn_interval=self.churn_interval,
-                                    network=network,
-                                    options=options,
+                        for property_combo in property_combos:
+                            for seed in self.seeds:
+                                runs.append(
+                                    RunSpec(
+                                        system=system,
+                                        scenario=scenario,
+                                        mode=mode,
+                                        seed=int(seed),
+                                        faults=combo,
+                                        fault_seed=self.fault_seed,
+                                        fault_start_after=self.fault_start_after,
+                                        properties=property_combo,
+                                        properties_exclude=(
+                                            exclude
+                                            if property_combo is not None
+                                            else ()
+                                        ),
+                                        nodes=self.nodes,
+                                        duration=self._duration_for(system),
+                                        churn=self.churn,
+                                        churn_interval=self.churn_interval,
+                                        network=network,
+                                        options=options,
+                                    )
                                 )
-                            )
         return runs
 
 
@@ -290,9 +383,12 @@ def parse_axes(pairs: Mapping[str, str]) -> dict[str, Any]:
     """Turn CLI ``--axes key=values`` pairs into CampaignSpec axis kwargs.
 
     Keys: ``systems``, ``scenarios``, ``presets`` (alias ``faults``),
-    ``seeds``, ``modes``.  Values are comma-separated; ``all`` expands to
-    every registered system / fault preset; ``none`` gives a fault-free or
-    live-only axis value; preset combos use ``+`` (``partition+delay``).
+    ``seeds``, ``modes``, ``properties``.  Values are comma-separated;
+    ``all`` expands to every registered system / fault preset; ``none``
+    gives a fault-free or live-only axis value; combos use ``+``
+    (``partition+delay``, ``randtree.*+chord.*``).  Properties values are
+    glob patterns over registered property ids, plus ``default`` (the
+    system's default set) and ``none`` (check nothing).
     """
     kwargs: dict[str, Any] = {}
     for key, raw in pairs.items():
@@ -325,9 +421,14 @@ def parse_axes(pairs: Mapping[str, str]) -> dict[str, Any]:
             kwargs["seeds"] = parse_seed_values(raw)
         elif key == "modes":
             kwargs["modes"] = values
+        elif key == "properties":
+            kwargs["properties"] = [
+                None if value == DEFAULT_PROPERTIES else value
+                for value in values
+            ]
         else:
             raise ValueError(
                 f"unknown campaign axis {key!r} (axes: systems, scenarios, "
-                f"presets, seeds, modes)"
+                f"presets, seeds, modes, properties)"
             )
     return kwargs

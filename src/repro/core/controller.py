@@ -25,8 +25,8 @@ from typing import Optional, Sequence
 
 from ..mc.global_state import GlobalState
 from ..mc.parallel import SearchKind, make_engine, run_portfolio
-from ..mc.properties import SafetyProperty
 from ..mc.search import PredictedViolation, SearchBudget, SearchResult
+from ..properties import Property, SafetyProperty, safety_properties
 from ..mc.transition import TransitionConfig, TransitionSystem
 from ..runtime.address import Address
 from ..runtime.events import Event
@@ -152,12 +152,15 @@ class CrystalBallController:
         self,
         addr: Address,
         protocol: Protocol,
-        properties: Sequence[SafetyProperty],
+        properties: Sequence[Property],
         config: Optional[CrystalBallConfig] = None,
     ) -> None:
         self.addr = addr
         self.protocol = protocol
-        self.properties = list(properties)
+        # The model checker and ISC evaluate predicates over single global
+        # states; liveness properties only exist for the live monitor and
+        # are dropped here.
+        self.properties: list[SafetyProperty] = safety_properties(properties)
         self.config = config or CrystalBallConfig()
 
         self.system = TransitionSystem(protocol, self.config.transition)
@@ -435,7 +438,7 @@ class CrystalBallController:
 
 def attach_crystalball(
     sim: Simulator,
-    properties: Sequence[SafetyProperty],
+    properties: Sequence[Property],
     *,
     config: Optional[CrystalBallConfig] = None,
     nodes: Optional[Sequence[Address]] = None,

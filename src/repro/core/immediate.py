@@ -19,8 +19,13 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from ..mc.global_state import GlobalState, NodeLocal
-from ..mc.properties import PropertyViolation, SafetyProperty, check_all
 from ..mc.transition import TransitionSystem
+from ..properties import (
+    NodeScopedProperty,
+    Property,
+    PropertyViolation,
+    safety_properties,
+)
 from ..runtime.address import Address
 from ..runtime.events import Event, ResetEvent
 from ..runtime.state import NodeState
@@ -38,14 +43,39 @@ class ImmediateCheckOutcome:
 
 
 class ImmediateSafetyCheck:
-    """Speculative per-handler consistency check."""
+    """Speculative per-handler consistency check.
+
+    Only the state-checkable (safety) subset of ``properties`` is
+    evaluated; temporal liveness properties are meaningless for a
+    single speculative state and are dropped on construction.
+    """
 
     def __init__(self, system: TransitionSystem,
-                 properties: Sequence[SafetyProperty]) -> None:
+                 properties: Sequence[Property]) -> None:
         self.system = system
-        self.properties = list(properties)
+        self.properties = safety_properties(properties)
         self.checks_performed = 0
         self.events_blocked = 0
+
+    def _relevant_violations(self, state: GlobalState,
+                             dirty: Address) -> list[PropertyViolation]:
+        """Violations whose verdict can depend on the handler at ``dirty``.
+
+        Speculatively executing an event at one node changes only that
+        node's local state (plus in-flight messages), so node-scoped
+        properties are checked at the dirty node alone; cross-node and
+        global properties are checked in full.  Restricting *both* the
+        before- and after-sets to the same subset keeps the
+        newly-introduced-violation subtraction exact while skipping
+        re-checks whose inputs cannot have changed.
+        """
+        found: list[PropertyViolation] = []
+        for prop in self.properties:
+            if isinstance(prop, NodeScopedProperty) and prop.scope == "node":
+                found.extend(prop.violations_at(state, dirty))
+            else:
+                found.extend(prop.violations(state))
+        return found
 
     def check(
         self,
@@ -78,10 +108,10 @@ class ImmediateSafetyCheck:
         base = neighborhood.clone() if neighborhood is not None else GlobalState(nodes={})
         base.nodes[addr] = NodeLocal(state=live_state.clone(), timers=live_timers)
         before = {(v.property_name, v.node, v.detail)
-                  for v in check_all(self.properties, base)}
+                  for v in self._relevant_violations(base, addr)}
 
         speculative = self.system.apply(base, event)
-        after = check_all(self.properties, speculative)
+        after = self._relevant_violations(speculative, addr)
         new = [v for v in after
                if (v.property_name, v.node, v.detail) not in before]
 

@@ -4,66 +4,275 @@ The evaluation needs to know how often the *deployed* system actually enters
 an inconsistent state (e.g. "the system goes through a total of 121 states
 that contain inconsistencies" when CrystalBall is not active,
 Section 5.4.1).  :class:`LivePropertyMonitor` is a simulator observer that
-checks the safety properties on the live global state after every executed
-event and keeps counts.
+checks the properties on the live global state after every executed event
+and keeps structured per-property accounting:
+
+* **safety** properties are re-checked per event.  Node-scoped properties
+  (``scope == "node"``: the check at a node reads only that node's local
+  state) use an **incremental fast path**: only the *dirty* nodes — the
+  node that executed the event, plus any node whose liveness/incarnation
+  changed since the previous event — are re-checked, and every other
+  node's result is served from the per-node cache.  Cross-node and global
+  properties are always fully re-checked.  The incremental path produces
+  bit-identical violation records to a full re-check (covered by tests
+  over all four bundled systems) because both paths walk properties and
+  nodes in the same order; it only skips re-computing checks whose inputs
+  cannot have changed.
+* **liveness** properties (bounded ``eventually`` / ``leads_to``
+  obligations) are driven over simulated time through per-run trackers;
+  :meth:`finalize` is called at the end of the run so deadlines that
+  expired after the last event still count.
+
+Violation *episodes* are keyed on ``(property, node)``: a persistent
+violation whose free-form detail text drifts between events (a sorted
+member list changing, say) is still one episode; the detail is payload on
+the emitted :class:`~repro.properties.ViolationRecord`, never part of the
+episode identity.  An episode ends when the key stops violating and a
+later recurrence opens a new episode.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..mc.global_state import GlobalState
-from ..mc.properties import PropertyViolation, SafetyProperty, check_all
+from ..properties import (
+    LivenessProperty,
+    NodeScopedProperty,
+    Property,
+    PropertyViolation,
+    SafetyProperty,
+    ViolationRecord,
+    state_digest,
+)
+from ..runtime.address import Address
 from ..runtime.events import Event
 from ..runtime.simulator import SimNode, Simulator
 
+#: Maximum episode records carried verbatim in :meth:`report` output.
+EPISODE_REPORT_LIMIT = 200
 
-@dataclass
+
 class LivePropertyMonitor:
-    """Counts inconsistent states reached by the live execution."""
+    """Counts inconsistent states and violation episodes in a live run."""
 
-    properties: Sequence[SafetyProperty]
+    def __init__(
+        self,
+        properties: Sequence[Property],
+        *,
+        incremental: bool = True,
+        episode_report_limit: int = EPISODE_REPORT_LIMIT,
+    ) -> None:
+        self.properties = list(properties)
+        self.incremental = incremental
+        self.episode_report_limit = episode_report_limit
 
-    events_checked: int = 0
-    inconsistent_states: int = 0
-    violations_seen: list[PropertyViolation] = field(default_factory=list)
-    distinct_properties: set[str] = field(default_factory=set)
-    #: signatures of (property, node, detail) already counted, so a persistent
-    #: inconsistency is not recounted on every single event.
-    _active: set[tuple] = field(default_factory=set)
+        self._safety: list[SafetyProperty] = [
+            prop for prop in self.properties if isinstance(prop, SafetyProperty)
+        ]
+        self._trackers = [
+            (prop, prop.make_tracker())
+            for prop in self.properties
+            if isinstance(prop, LivenessProperty)
+        ]
+        self._severities = {prop.name: prop.severity for prop in self.properties}
+
+        self.events_checked = 0
+        self.inconsistent_states = 0
+        self.liveness_violations = 0
+        #: one legacy PropertyViolation per episode (compat surface).
+        self.violations_seen: list[PropertyViolation] = []
+        #: structured record per episode, in order of discovery.
+        self.records: list[ViolationRecord] = []
+        self.distinct_properties: set[str] = set()
+
+        #: episode keys currently violating: (property id, node or None).
+        self._active: set[tuple[str, Optional[Address]]] = set()
+        #: incremental cache: (property id, node) -> violation details.
+        self._local_cache: dict[tuple[str, Address], tuple[str, ...]] = {}
+        #: node liveness fingerprint at the previous event: addr -> incarnation.
+        self._known: dict[Address, int] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------- wiring
 
     def install(self, sim: Simulator) -> "LivePropertyMonitor":
         sim.add_observer(self)
+        for _, tracker in self._trackers:
+            # Run-start-relative liveness windows open now, not at the
+            # first executed event (which may come arbitrarily late).
+            tracker.anchor(sim.now)
         return self
+
+    # ----------------------------------------------------------- checking
+
+    def _is_fast_path(self, prop: SafetyProperty) -> bool:
+        return isinstance(prop, NodeScopedProperty) and prop.scope == "node"
+
+    def _dirty_nodes(
+        self, sim: Simulator, state: GlobalState, event: Optional[Event]
+    ) -> set[Address]:
+        """Nodes whose node-scoped checks must be recomputed this event."""
+        current: dict[Address, int] = {}
+        dirty: set[Address] = set()
+        for addr in state.nodes:
+            sim_node = sim.nodes.get(addr)
+            incarnation = sim_node.incarnation if sim_node is not None else -1
+            current[addr] = incarnation
+            if self._known.get(addr) != incarnation:
+                dirty.add(addr)
+        departed = set(self._known) - set(current)
+        if departed:
+            self._local_cache = {
+                key: details
+                for key, details in self._local_cache.items()
+                if key[1] not in departed
+            }
+        if event is not None and event.node in state.nodes:
+            dirty.add(event.node)
+        self._known = current
+        return dirty
+
+    def _safety_violations(
+        self, state: GlobalState, dirty: Optional[set[Address]]
+    ) -> list[PropertyViolation]:
+        """Current safety violations, in deterministic property-major order.
+
+        ``dirty=None`` means re-check everything (the full path); otherwise
+        node-scoped properties are only recomputed at the dirty nodes and
+        served from the cache elsewhere.
+        """
+        found: list[PropertyViolation] = []
+        for prop in self._safety:
+            if self._is_fast_path(prop):
+                assert isinstance(prop, NodeScopedProperty)
+                for addr in state.nodes:
+                    key = (prop.name, addr)
+                    if dirty is None or addr in dirty or key not in self._local_cache:
+                        details = tuple(
+                            violation.detail
+                            for violation in prop.violations_at(state, addr)
+                        )
+                        self._local_cache[key] = details
+                    for detail in self._local_cache[key]:
+                        found.append(
+                            PropertyViolation(
+                                property_name=prop.name, node=addr, detail=detail
+                            )
+                        )
+            else:
+                found.extend(prop.violations(state))
+        return found
+
+    def _open_episode(
+        self,
+        state: GlobalState,
+        now: float,
+        property_name: str,
+        node: Optional[Address],
+        detail: str,
+        kind: str,
+    ) -> None:
+        record = ViolationRecord(
+            property_id=property_name,
+            severity=self._severities.get(property_name, "error"),
+            node=str(node) if node is not None else None,
+            detail=detail,
+            sim_time=now,
+            episode=len(self.records),
+            state_digest=state_digest(state),
+            kind=kind,
+        )
+        self.records.append(record)
+        self.violations_seen.append(
+            PropertyViolation(property_name=property_name, node=node, detail=detail)
+        )
+        self.distinct_properties.add(property_name)
 
     def __call__(self, sim: Simulator, node: SimNode, event: Event) -> None:
         self.events_checked += 1
+        live = sim.node_states()
         state = GlobalState.from_snapshot(
-            {addr: s for addr, (s, _) in sim.node_states().items()},
-            timers={addr: t for addr, (_, t) in sim.node_states().items()},
+            {addr: s for addr, (s, _) in live.items()},
+            timers={addr: t for addr, (_, t) in live.items()},
         )
-        violations = check_all(self.properties, state)
+        dirty = self._dirty_nodes(sim, state, event) if self.incremental else None
+        violations = self._safety_violations(state, dirty)
         if violations:
             self.inconsistent_states += 1
-        current: set[tuple] = set()
+
+        current: set[tuple[str, Optional[Address]]] = set()
         for violation in violations:
-            key = (violation.property_name, violation.node, violation.detail)
+            key = (violation.property_name, violation.node)
+            if key not in current and key not in self._active:
+                self._open_episode(
+                    state,
+                    sim.now,
+                    violation.property_name,
+                    violation.node,
+                    violation.detail,
+                    kind="safety",
+                )
             current.add(key)
-            if key not in self._active:
-                self.violations_seen.append(violation)
-                self.distinct_properties.add(violation.property_name)
         self._active = current
+
+        for prop, tracker in self._trackers:
+            for failed_node, detail in tracker.observe(state, sim.now):
+                self.liveness_violations += 1
+                self._open_episode(
+                    state, sim.now, prop.name, failed_node, detail, kind="liveness"
+                )
+
+    def finalize(self, now: float) -> None:
+        """End of run: flush liveness obligations whose deadline passed.
+
+        Uses an empty placeholder state for the digest (there is no "state
+        that exhibited it" — the violation is the *absence* of a state).
+        Idempotent; called by the live-run driver after the simulation.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        empty = GlobalState(nodes={})
+        for prop, tracker in self._trackers:
+            for failed_node, detail in tracker.finalize(now):
+                self.liveness_violations += 1
+                self._open_episode(
+                    empty, now, prop.name, failed_node, detail, kind="liveness"
+                )
+
+    # ---------------------------------------------------------- reporting
 
     @property
     def new_violations(self) -> int:
         """Number of distinct violation episodes observed."""
         return len(self.violations_seen)
 
+    def violations_by_property(self) -> dict[str, int]:
+        """Episode count per property id, sorted by id."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.property_id] = counts.get(record.property_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def by_severity(self) -> dict[str, int]:
+        """Episode count per severity, sorted by severity name."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.severity] = counts.get(record.severity, 0) + 1
+        return dict(sorted(counts.items()))
+
     def report(self) -> dict:
+        limit = self.episode_report_limit
         return {
             "events_checked": self.events_checked,
             "inconsistent_states": self.inconsistent_states,
             "distinct_violation_episodes": self.new_violations,
             "properties_violated": sorted(self.distinct_properties),
+            "violations_by_property": self.violations_by_property(),
+            "by_severity": self.by_severity(),
+            "liveness_violations": self.liveness_violations,
+            "incremental": self.incremental,
+            "episodes": [record.to_dict() for record in self.records[:limit]],
+            "episodes_truncated": max(0, len(self.records) - limit),
         }

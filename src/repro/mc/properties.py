@@ -1,93 +1,29 @@
-"""Safety-property framework.
+"""Safety-property framework — compatibility shim.
 
-Properties are predicates over :class:`~repro.mc.global_state.GlobalState`.
-The same property objects are checked by the model checkers (exhaustive
-search, random walks, consequence prediction), by the live property monitor
-(counting inconsistencies the deployed system actually reaches), and by the
-immediate safety check.
+The property layer moved to :mod:`repro.properties`, which adds the global
+registry, severities/tags, cross-node and bounded-liveness combinators and
+structured violation records.  This module keeps the historical import
+surface (``repro.mc.properties`` / ``repro.mc``) working unchanged: the
+names below are the same objects the new package exports, so properties
+built through either path are interchangeable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from ..properties.base import (
+    NodeScopedProperty,
+    PropertyViolation,
+    SafetyProperty,
+    check_all,
+    node_property,
+    safety_properties,
+)
 
-from ..runtime.address import Address
-from ..runtime.state import NodeState
-from .global_state import GlobalState
-
-
-@dataclass(frozen=True)
-class PropertyViolation:
-    """One violation of one safety property in one global state."""
-
-    property_name: str
-    node: Optional[Address]
-    detail: str
-
-    def __str__(self) -> str:
-        where = f" at {self.node}" if self.node is not None else ""
-        return f"[{self.property_name}]{where}: {self.detail}"
-
-
-class SafetyProperty:
-    """A named safety property over global states.
-
-    ``check_fn`` receives the global state and returns an iterable of
-    violation detail strings paired with the offending node (or ``None`` for
-    system-wide violations).
-    """
-
-    def __init__(
-        self,
-        name: str,
-        check_fn: Callable[[GlobalState], Iterable[tuple[Optional[Address], str]]],
-        description: str = "",
-    ) -> None:
-        self.name = name
-        self.description = description or name
-        self._check_fn = check_fn
-
-    def violations(self, state: GlobalState) -> list[PropertyViolation]:
-        """All violations of this property in ``state``."""
-        return [
-            PropertyViolation(property_name=self.name, node=node, detail=detail)
-            for node, detail in self._check_fn(state)
-        ]
-
-    def holds(self, state: GlobalState) -> bool:
-        """True when the property is satisfied in ``state``."""
-        return not self.violations(state)
-
-    def __repr__(self) -> str:
-        return f"<SafetyProperty {self.name}>"
-
-
-def node_property(
-    name: str,
-    check_fn: Callable[[Address, NodeState, frozenset[str], GlobalState],
-                       Iterable[str]],
-    description: str = "",
-) -> SafetyProperty:
-    """Build a property checked independently at every node.
-
-    ``check_fn`` receives the node address, its protocol state, its armed
-    timers and the full global state (for cross-node checks), and yields a
-    violation description per problem found at that node.
-    """
-
-    def check(state: GlobalState) -> Iterable[tuple[Optional[Address], str]]:
-        for addr, local in state.nodes.items():
-            for detail in check_fn(addr, local.state, local.timers, state):
-                yield addr, detail
-
-    return SafetyProperty(name=name, check_fn=check, description=description)
-
-
-def check_all(properties: Sequence[SafetyProperty],
-              state: GlobalState) -> list[PropertyViolation]:
-    """All violations of all ``properties`` in ``state``."""
-    found: list[PropertyViolation] = []
-    for prop in properties:
-        found.extend(prop.violations(state))
-    return found
+__all__ = [
+    "NodeScopedProperty",
+    "PropertyViolation",
+    "SafetyProperty",
+    "check_all",
+    "node_property",
+    "safety_properties",
+]

@@ -1,0 +1,67 @@
+"""First-class property API: registry, combinators, structured violations.
+
+This package is the single source of truth for the properties CrystalBall
+checks.  It provides:
+
+* the property classes (:class:`SafetyProperty`, :class:`LivenessProperty`)
+  with namespaced ids, severities and tags;
+* combinators: :func:`node_property`, :func:`pairwise_property`, and the
+  bounded-liveness operators :func:`eventually` and :func:`leads_to`;
+* the global :mod:`registry <repro.properties.registry>` the systems'
+  properties self-register into, with glob-pattern selection;
+* :class:`ViolationRecord`, the structured violation-episode record the
+  live monitor emits and the reporting stack aggregates.
+
+``repro.mc.properties`` re-exports the safety subset for backwards
+compatibility; new code should import from here.
+"""
+
+from .base import (
+    SCOPES,
+    SEVERITIES,
+    NodeScopedProperty,
+    Property,
+    PropertyViolation,
+    SafetyProperty,
+    check_all,
+    node_property,
+    pairwise_property,
+    safety_properties,
+)
+from .liveness import LivenessProperty, LivenessTracker, eventually, leads_to
+from .registry import (
+    all_properties,
+    get_property,
+    register_properties,
+    register_property,
+    resolve_properties,
+    select_properties,
+    unregister_property,
+)
+from .violations import ViolationRecord, state_digest
+
+__all__ = [
+    "SCOPES",
+    "SEVERITIES",
+    "NodeScopedProperty",
+    "Property",
+    "PropertyViolation",
+    "SafetyProperty",
+    "check_all",
+    "node_property",
+    "pairwise_property",
+    "safety_properties",
+    "LivenessProperty",
+    "LivenessTracker",
+    "eventually",
+    "leads_to",
+    "all_properties",
+    "get_property",
+    "register_properties",
+    "register_property",
+    "resolve_properties",
+    "select_properties",
+    "unregister_property",
+    "ViolationRecord",
+    "state_digest",
+]

@@ -1,0 +1,289 @@
+"""Core property types: the base class, safety properties and combinators.
+
+A *property* is a named, identified check over the distributed system.  Two
+kinds exist:
+
+* **Safety properties** (:class:`SafetyProperty`) are predicates over a
+  single :class:`~repro.mc.global_state.GlobalState`.  They are evaluated by
+  the model checkers (exhaustive search, random walks, consequence
+  prediction), by the live property monitor and by the immediate safety
+  check.
+* **Liveness properties** (:class:`~repro.properties.liveness.LivenessProperty`)
+  are temporal: they watch the live execution over simulated time and can
+  only be evaluated by the live monitor.  See :mod:`repro.properties.liveness`.
+
+Every property carries a namespaced id (``"randtree.no_self_reference"``),
+a :data:`severity <SEVERITIES>` and a set of free-form tags, which is what
+makes the property surface selectable (``Experiment.properties("randtree.*")``,
+``python -m repro properties``, campaign ``properties=`` axes).
+
+Combinators build safety properties from simpler check functions:
+
+* :func:`node_property` — checked independently at every node; declares
+  whether the check reads only that node's local state (``local_only``),
+  which is what enables the monitor's incremental fast path;
+* :func:`pairwise_property` — checked over every ordered pair of distinct
+  nodes (cross-node invariants such as "a receiver never believes a sender
+  has blocks the sender lacks");
+* plain :class:`SafetyProperty` — an arbitrary predicate over the whole
+  global state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from ..mc.global_state import GlobalState, NodeLocal
+from ..runtime.address import Address
+from ..runtime.state import NodeState
+
+#: Recognised severity levels, most severe first.
+SEVERITIES = ("critical", "error", "warning", "info")
+
+#: Property scopes: ``"node"`` means the check at a node reads only that
+#: node's local state (incrementally re-checkable); ``"global"`` means it
+#: may read other nodes or in-flight messages and must be fully re-checked.
+SCOPES = ("node", "global")
+
+
+def validate_severity(severity: str) -> str:
+    if severity not in SEVERITIES:
+        raise ValueError(
+            f"unknown severity {severity!r} (one of: {', '.join(SEVERITIES)})"
+        )
+    return severity
+
+
+@dataclass(frozen=True)
+class PropertyViolation:
+    """One violation of one property in one global state."""
+
+    property_name: str
+    node: Optional[Address]
+    detail: str
+
+    def __str__(self) -> str:
+        where = f" at {self.node}" if self.node is not None else ""
+        return f"[{self.property_name}]{where}: {self.detail}"
+
+
+class Property:
+    """Base class: identity, severity and tags shared by all property kinds.
+
+    ``name`` is the namespaced id (``"<system>.<property>"`` by
+    convention); ``kind`` is ``"safety"`` or ``"liveness"``;
+    ``state_checkable`` tells the state-based checkers whether they can
+    evaluate the property on a single global state.
+    """
+
+    kind = "property"
+    #: True when the property is a predicate over one global state.
+    state_checkable = False
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        *,
+        severity: str = "error",
+        tags: Iterable[str] = (),
+    ) -> None:
+        self.name = name
+        self.description = description or name
+        self.severity = validate_severity(severity)
+        self.tags = frozenset(tags)
+
+    @property
+    def namespace(self) -> str:
+        """The id prefix before the first dot (usually the system name)."""
+        return self.name.split(".", 1)[0] if "." in self.name else ""
+
+    def describe(self) -> dict:
+        """Registry-listing summary (``python -m repro properties``)."""
+        return {
+            "id": self.name,
+            "kind": self.kind,
+            "severity": self.severity,
+            "tags": sorted(self.tags),
+            "description": self.description,
+        }
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class SafetyProperty(Property):
+    """A named safety property over global states.
+
+    ``check_fn`` receives the global state and returns an iterable of
+    violation detail strings paired with the offending node (or ``None``
+    for system-wide violations).  The constructor signature is kept
+    compatible with the original ``repro.mc.properties.SafetyProperty``:
+    severity and tags are keyword-only additions.
+    """
+
+    kind = "safety"
+    state_checkable = True
+    #: Default scope: an arbitrary predicate may read anything.
+    scope = "global"
+
+    def __init__(
+        self,
+        name: str,
+        check_fn: Callable[[GlobalState], Iterable[tuple[Optional[Address], str]]],
+        description: str = "",
+        *,
+        severity: str = "error",
+        tags: Iterable[str] = (),
+    ) -> None:
+        super().__init__(name, description, severity=severity, tags=tags)
+        self._check_fn = check_fn
+
+    def violations(self, state: GlobalState) -> list[PropertyViolation]:
+        """All violations of this property in ``state``."""
+        return [
+            PropertyViolation(property_name=self.name, node=node, detail=detail)
+            for node, detail in self._check_fn(state)
+        ]
+
+    def holds(self, state: GlobalState) -> bool:
+        """True when the property is satisfied in ``state``."""
+        return not self.violations(state)
+
+    def describe(self) -> dict:
+        data = super().describe()
+        data["scope"] = self.scope
+        return data
+
+
+class NodeScopedProperty(SafetyProperty):
+    """A safety property checked independently at every node.
+
+    Built by :func:`node_property`.  When ``local_only`` is true the
+    per-node check reads nothing but that node's local state and timers,
+    so :meth:`violations_at` can re-check a single dirty node — the live
+    monitor's incremental fast path and the immediate safety check both
+    rely on this.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        node_check_fn: Callable[
+            [Address, NodeState, frozenset[str], GlobalState], Iterable[str]
+        ],
+        description: str = "",
+        *,
+        severity: str = "error",
+        tags: Iterable[str] = (),
+        local_only: bool = True,
+    ) -> None:
+        def check(state: GlobalState) -> Iterable[tuple[Optional[Address], str]]:
+            for addr, local in state.nodes.items():
+                for detail in node_check_fn(addr, local.state, local.timers, state):
+                    yield addr, detail
+
+        super().__init__(name, check, description, severity=severity, tags=tags)
+        self._node_check_fn = node_check_fn
+        self.scope = "node" if local_only else "global"
+
+    def violations_at(
+        self, state: GlobalState, addr: Address
+    ) -> list[PropertyViolation]:
+        """Violations of this property at the single node ``addr``.
+
+        Exact for ``scope == "node"`` properties; for cross-node checks it
+        still evaluates the node's check function against the full global
+        state (callers must not use it as a substitute for a full re-check
+        in that case).
+        """
+        local = state.nodes.get(addr)
+        if local is None:
+            return []
+        return [
+            PropertyViolation(property_name=self.name, node=addr, detail=detail)
+            for detail in self._node_check_fn(addr, local.state, local.timers, state)
+        ]
+
+
+def node_property(
+    name: str,
+    check_fn: Callable[
+        [Address, NodeState, frozenset[str], GlobalState], Iterable[str]
+    ],
+    description: str = "",
+    *,
+    severity: str = "error",
+    tags: Iterable[str] = (),
+    local_only: bool = True,
+) -> NodeScopedProperty:
+    """Build a property checked independently at every node.
+
+    ``check_fn`` receives the node address, its protocol state, its armed
+    timers and the full global state, and yields a violation description
+    per problem found at that node.  Pass ``local_only=False`` when the
+    check reads other nodes' state through the global-state argument
+    (e.g. "the root must not appear as another node's child") — such
+    properties are excluded from incremental re-checking.
+    """
+    return NodeScopedProperty(
+        name,
+        check_fn,
+        description,
+        severity=severity,
+        tags=tags,
+        local_only=local_only,
+    )
+
+
+def pairwise_property(
+    name: str,
+    check_fn: Callable[
+        [Address, NodeLocal, Address, NodeLocal, GlobalState], Iterable[str]
+    ],
+    description: str = "",
+    *,
+    severity: str = "error",
+    tags: Iterable[str] = (),
+) -> SafetyProperty:
+    """Build a cross-node invariant over every ordered pair of nodes.
+
+    ``check_fn(addr_a, local_a, addr_b, local_b, state)`` yields violation
+    details attributed to ``addr_a``.  Pairs are enumerated in sorted
+    address order so violation order is deterministic.
+    """
+
+    def check(state: GlobalState) -> Iterable[tuple[Optional[Address], str]]:
+        addresses = sorted(state.nodes)
+        for addr_a in addresses:
+            for addr_b in addresses:
+                if addr_a == addr_b:
+                    continue
+                for detail in check_fn(
+                    addr_a, state.nodes[addr_a], addr_b, state.nodes[addr_b], state
+                ):
+                    yield addr_a, detail
+
+    return SafetyProperty(name, check, description, severity=severity, tags=tags)
+
+
+def safety_properties(properties: Sequence[Property]) -> list[SafetyProperty]:
+    """The state-checkable subset of ``properties``.
+
+    The model checkers and the immediate safety check evaluate properties
+    on single global states; temporal (liveness) properties are silently
+    excluded because they are only meaningful to the live monitor.
+    """
+    return [prop for prop in properties if isinstance(prop, SafetyProperty)]
+
+
+def check_all(
+    properties: Sequence[Property], state: GlobalState
+) -> list[PropertyViolation]:
+    """All violations of all state-checkable ``properties`` in ``state``."""
+    found: list[PropertyViolation] = []
+    for prop in properties:
+        if isinstance(prop, SafetyProperty):
+            found.extend(prop.violations(state))
+    return found

@@ -1,0 +1,249 @@
+"""Bounded-liveness properties: temporal checks over simulated time.
+
+Invariant-only frameworks cannot express "the system becomes consistent
+again within a window" — the shape of eventual-consistency guarantees (and
+the reason a transiently split tree is fine but a permanently split one is
+a bug).  This module adds two bounded-liveness operators, evaluated by the
+live property monitor as the simulation advances:
+
+* :func:`eventually` — ``pred`` must hold at some observed point within
+  ``within`` simulated seconds of the start of monitoring; once satisfied
+  the obligation is discharged for good.
+* :func:`leads_to` — every time ``trigger`` becomes true (edge-triggered),
+  ``goal`` must hold at some observed point within ``within`` seconds; the
+  obligation re-arms on the next trigger edge, so a recurring disturbance
+  that stops healing is caught on every recurrence.
+
+Liveness properties are **not** state predicates: the model checkers and
+the immediate safety check skip them (``state_checkable`` is false).  The
+monitor drives one stateful :class:`LivenessTracker` per property per run
+and calls :meth:`LivenessTracker.finalize` when the run ends so deadlines
+that expired after the last event still count.
+
+Deadlines are evaluated at observation points (executed events and the end
+of the run), so a violation is reported at the first observation after the
+deadline passes — deterministic for a seeded run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from ..mc.global_state import GlobalState
+from ..runtime.address import Address
+from .base import Property
+
+#: A liveness predicate over the live global state.
+StatePredicate = Callable[[GlobalState], bool]
+
+#: ``(node, detail)`` pairs emitted when an obligation expires.
+LivenessFailure = tuple[Optional[Address], str]
+
+
+class LivenessProperty(Property):
+    """A bounded-liveness property evaluated by the live monitor.
+
+    Subclasses (or the :func:`eventually` / :func:`leads_to` factories)
+    provide :meth:`make_tracker`, returning a fresh stateful tracker per
+    run.  ``within`` is the bound in simulated seconds.
+    """
+
+    kind = "liveness"
+    state_checkable = False
+
+    def __init__(
+        self,
+        name: str,
+        description: str = "",
+        *,
+        within: float,
+        severity: str = "warning",
+        tags: Iterable[str] = (),
+    ) -> None:
+        if within <= 0:
+            raise ValueError("liveness window `within` must be positive")
+        super().__init__(
+            name, description, severity=severity, tags=set(tags) | {"liveness"}
+        )
+        self.within = float(within)
+
+    def describe(self) -> dict:
+        data = super().describe()
+        data["within"] = self.within
+        return data
+
+    def make_tracker(self) -> "LivenessTracker":
+        raise NotImplementedError
+
+
+class LivenessTracker:
+    """Per-run evaluation state of one liveness property."""
+
+    def __init__(self, prop: LivenessProperty) -> None:
+        self.prop = prop
+
+    def anchor(self, now: float) -> None:
+        """Fix the run's start time before any event is observed.
+
+        The live monitor calls this when it is installed, so windows that
+        are relative to the run start (``eventually``) open at the actual
+        start even when the first executed event comes late.  Without an
+        anchor, windows open at the first observation.
+        """
+
+    def observe(self, state: GlobalState, now: float) -> list[LivenessFailure]:
+        """Feed one observed global state; returns expired obligations."""
+        raise NotImplementedError
+
+    def finalize(self, now: float) -> list[LivenessFailure]:
+        """End of run: report obligations whose deadline has passed."""
+        raise NotImplementedError
+
+
+class _EventuallyTracker(LivenessTracker):
+    def __init__(self, prop: "_Eventually") -> None:
+        super().__init__(prop)
+        self._deadline: Optional[float] = None
+        self._satisfied = False
+        self._reported = False
+
+    def anchor(self, now: float) -> None:
+        if self._deadline is None:
+            self._deadline = now + self.prop.within
+
+    def _expired(self, now: float) -> list[LivenessFailure]:
+        if (
+            not self._satisfied
+            and not self._reported
+            and self._deadline is not None
+            and now > self._deadline
+        ):
+            self._reported = True
+            detail = (
+                f"predicate did not hold within {self.prop.within:g}s "
+                f"(deadline {self._deadline:g}, now {now:g})"
+            )
+            return [(None, detail)]
+        return []
+
+    def observe(self, state: GlobalState, now: float) -> list[LivenessFailure]:
+        if self._satisfied or self._reported:
+            return []
+        if self._deadline is None:
+            self._deadline = now + self.prop.within
+        # Expiry is checked before the predicate: a predicate that first
+        # holds at the first observation AFTER the deadline did not hold
+        # within the window and must not discharge the obligation.
+        expired = self._expired(now)
+        if expired:
+            return expired
+        if self.prop.pred(state):
+            self._satisfied = True
+        return []
+
+    def finalize(self, now: float) -> list[LivenessFailure]:
+        return self._expired(now)
+
+
+class _Eventually(LivenessProperty):
+    def __init__(self, name: str, pred: StatePredicate, description: str = "", **kw):
+        super().__init__(name, description, **kw)
+        self.pred = pred
+
+    def make_tracker(self) -> LivenessTracker:
+        return _EventuallyTracker(self)
+
+
+class _LeadsToTracker(LivenessTracker):
+    def __init__(self, prop: "_LeadsTo") -> None:
+        super().__init__(prop)
+        self._trigger_was_true = False
+        self._deadline: Optional[float] = None
+        self._opened_at: Optional[float] = None
+
+    def _expired(self, now: float) -> list[LivenessFailure]:
+        if self._deadline is not None and now > self._deadline:
+            opened = self._opened_at
+            self._deadline = None
+            self._opened_at = None
+            detail = (
+                f"goal did not follow trigger (at {opened:g}) within "
+                f"{self.prop.within:g}s (now {now:g})"
+            )
+            return [(None, detail)]
+        return []
+
+    def observe(self, state: GlobalState, now: float) -> list[LivenessFailure]:
+        expired = self._expired(now)
+        trigger = self.prop.trigger(state)
+        if trigger and not self._trigger_was_true and self._deadline is None:
+            self._deadline = now + self.prop.within
+            self._opened_at = now
+        self._trigger_was_true = trigger
+        if self._deadline is not None and self.prop.goal(state):
+            self._deadline = None
+            self._opened_at = None
+        return expired
+
+    def finalize(self, now: float) -> list[LivenessFailure]:
+        return self._expired(now)
+
+
+class _LeadsTo(LivenessProperty):
+    def __init__(
+        self,
+        name: str,
+        trigger: StatePredicate,
+        goal: StatePredicate,
+        description: str = "",
+        **kw,
+    ):
+        super().__init__(name, description, **kw)
+        self.trigger = trigger
+        self.goal = goal
+
+    def make_tracker(self) -> LivenessTracker:
+        return _LeadsToTracker(self)
+
+
+def eventually(
+    name: str,
+    pred: StatePredicate,
+    *,
+    within: float,
+    description: str = "",
+    severity: str = "warning",
+    tags: Iterable[str] = (),
+) -> LivenessProperty:
+    """``pred`` must hold at some point within ``within`` seconds.
+
+    The window opens at the run start when the tracker is anchored (the
+    live monitor anchors at install time), or at the first observation
+    otherwise.  At most one violation is reported per run; once the
+    predicate holds the property is discharged permanently.
+    """
+    return _Eventually(
+        name, pred, description, within=within, severity=severity, tags=tags
+    )
+
+
+def leads_to(
+    name: str,
+    trigger: StatePredicate,
+    goal: StatePredicate,
+    *,
+    within: float,
+    description: str = "",
+    severity: str = "warning",
+    tags: Iterable[str] = (),
+) -> LivenessProperty:
+    """Whenever ``trigger`` becomes true, ``goal`` must hold within the window.
+
+    Edge-triggered: a new obligation opens when ``trigger`` transitions
+    from false to true with no obligation already open; it is discharged
+    as soon as ``goal`` is observed true, and violated (one episode per
+    obligation) when the deadline passes first.
+    """
+    return _LeadsTo(
+        name, trigger, goal, description, within=within, severity=severity, tags=tags
+    )

@@ -1,0 +1,74 @@
+"""Structured violation records.
+
+:class:`ViolationRecord` is the JSON-serializable record of one violation
+*episode* observed by the live monitor: which property, at which node, at
+what simulated time, in which run episode, and a digest of the global state
+that exhibited it.  It replaces the loose ``(property, node, detail)``
+string tuples the reporting stack used to pass around, and is what flows
+into :class:`~repro.api.report.RunReport` per-property rollups and campaign
+per-property columns.
+
+The state digest is computed with SHA-1 over the state's canonical
+signature rather than Python's builtin ``hash`` — builtin string hashing is
+salted per process, and campaign aggregates must be bit-identical across
+worker counts and reruns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional
+
+from ..mc.global_state import GlobalState
+
+
+def state_digest(state: GlobalState) -> str:
+    """Process-stable short digest of a global state's identity."""
+    payload = repr(state.signature()).encode("utf-8", errors="replace")
+    return hashlib.sha1(payload).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class ViolationRecord:
+    """One violation episode observed in a live run."""
+
+    property_id: str
+    severity: str
+    #: Offending node (string form of its address), None for system-wide.
+    node: Optional[str]
+    #: Free-form human detail; payload only, never part of episode identity.
+    detail: str
+    #: Simulated time at which the episode started.
+    sim_time: float
+    #: Monotonic episode index within the run (0-based, order of discovery).
+    episode: int
+    #: Digest of the global state that opened the episode.
+    state_digest: str
+    #: Property kind: "safety" or "liveness".
+    kind: str = "safety"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "property_id": self.property_id,
+            "severity": self.severity,
+            "node": self.node,
+            "detail": self.detail,
+            "sim_time": self.sim_time,
+            "episode": self.episode,
+            "state_digest": self.state_digest,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ViolationRecord":
+        return cls(
+            property_id=data["property_id"],
+            severity=data.get("severity", "error"),
+            node=data.get("node"),
+            detail=data.get("detail", ""),
+            sim_time=float(data.get("sim_time", 0.0)),
+            episode=int(data.get("episode", 0)),
+            state_digest=data.get("state_digest", ""),
+            kind=data.get("kind", "safety"),
+        )

@@ -1,11 +1,16 @@
-"""Safety properties for Bullet' (Section 5.2.3)."""
+"""Safety properties for Bullet' (Section 5.2.3).
+
+Registered under the ``bullet.`` namespace in the global property registry
+(the historical ids predate the ``bulletprime`` system name and are kept
+stable); ``ALL_PROPERTIES`` keeps the historical check order.
+"""
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
 from ...mc.global_state import GlobalState
-from ...mc.properties import SafetyProperty
+from ...properties import SafetyProperty, eventually, register_properties
 from ...runtime.address import Address
 from .protocol import DIFF
 from .state import BulletState
@@ -66,13 +71,32 @@ def _view_is_subset_of_have(state: GlobalState) -> Iterable[tuple[Optional[Addre
 FILE_MAP_CONSISTENCY = SafetyProperty(
     "bullet.file_map_consistency", _file_map_consistency,
     "Sender's file map and the receiver's view of it must be identical "
-    "(modulo in-flight Diffs).")
+    "(modulo in-flight Diffs).",
+    severity="critical", tags=("dissemination", "cross-node"))
 
 VIEW_SUBSET_OF_HAVE = SafetyProperty(
     "bullet.view_subset_of_have", _view_is_subset_of_have,
-    "A receiver's view of a sender never contains blocks the sender lacks.")
+    "A receiver's view of a sender never contains blocks the sender lacks.",
+    severity="error", tags=("dissemination", "cross-node"))
+
+
+def _all_downloads_complete(gs: GlobalState) -> bool:
+    states = [nl.state for nl in gs.nodes.values()
+              if isinstance(nl.state, BulletState)]
+    receivers = [s for s in states if not s.is_source]
+    return bool(receivers) and all(s.completed_at is not None for s in receivers)
+
+
+#: Bounded liveness (opt-in): every receiver finishes the download.
+EVENTUALLY_ALL_COMPLETE = eventually(
+    "bullet.eventually_all_complete", _all_downloads_complete, within=300.0,
+    description="Every non-source node completes its download within 300 s "
+                "of the run start.",
+    tags=("dissemination",))
 
 ALL_PROPERTIES: list[SafetyProperty] = [
     FILE_MAP_CONSISTENCY,
     VIEW_SUBSET_OF_HAVE,
 ]
+
+register_properties(ALL_PROPERTIES + [EVENTUALLY_ALL_COMPLETE])

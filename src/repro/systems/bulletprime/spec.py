@@ -106,6 +106,8 @@ SPEC = register_system(SystemSpec(
     summary="Bullet' file-distribution mesh (Section 5.2.3)",
     protocol_factory=_protocol_factory,
     properties=tuple(ALL_PROPERTIES),
+    # The historical property ids predate the "bulletprime" system name.
+    property_namespace="bullet",
     transition_factory=lambda: TransitionConfig(enable_resets=False),
     scenarios={
         "download": ScenarioSpec(

@@ -1,11 +1,20 @@
-"""Safety properties for Chord (Section 5.2.2)."""
+"""Safety properties for Chord (Section 5.2.2).
+
+Registered under the ``chord.`` namespace in the global property registry;
+``ALL_PROPERTIES`` keeps the historical check order.
+"""
 
 from __future__ import annotations
 
 from typing import Iterable
 
 from ...mc.global_state import GlobalState
-from ...mc.properties import SafetyProperty, node_property
+from ...properties import (
+    SafetyProperty,
+    leads_to,
+    node_property,
+    register_properties,
+)
 from ...runtime.address import Address
 from .state import ChordState, in_interval
 
@@ -56,20 +65,49 @@ def _no_self_successor_only(addr: Address, state: ChordState,
 PRED_SELF_IMPLIES_SUCC_SELF = node_property(
     "chord.pred_self_implies_succ_self", _pred_self_implies_succ_self,
     "If a node's predecessor is itself, its successor must also be itself "
-    "(Figure 10).")
+    "(Figure 10).",
+    severity="critical", tags=("ring", "figure10"))
 
 ORDERING_CONSTRAINT = node_property(
     "chord.ordering_constraint", _ordering_constraint,
     "No successor's id may lie between the predecessor's id and the node's "
-    "own id (Figure 11).")
+    "own id (Figure 11).",
+    severity="critical", tags=("ring", "figure11"))
 
 SUCC_SELF_IMPLIES_PRED_SELF = node_property(
     "chord.succ_self_implies_pred_self", _no_self_successor_only,
     "If the successor list contains only the node itself, the predecessor "
-    "must be the node itself as well.")
+    "must be the node itself as well.",
+    severity="error", tags=("ring",))
+
+
+def _some_joined_node_without_predecessor(gs: GlobalState) -> bool:
+    states = [nl.state for nl in gs.nodes.values()
+              if isinstance(nl.state, ChordState)]
+    return any(s.joined and s.predecessor is None for s in states)
+
+
+def _every_joined_node_has_predecessor(gs: GlobalState) -> bool:
+    states = [nl.state for nl in gs.nodes.values()
+              if isinstance(nl.state, ChordState)]
+    joined = [s for s in states if s.joined]
+    return bool(joined) and all(s.predecessor is not None for s in joined)
+
+
+#: Bounded liveness (opt-in): stabilization re-links the ring in a window.
+RING_STABILIZES = leads_to(
+    "chord.ring_stabilizes",
+    _some_joined_node_without_predecessor,
+    _every_joined_node_has_predecessor, within=120.0,
+    description="After a joined node loses its predecessor pointer, "
+                "stabilization must restore a predecessor at every joined "
+                "node within 120 s.",
+    tags=("ring",))
 
 ALL_PROPERTIES: list[SafetyProperty] = [
     PRED_SELF_IMPLIES_SUCC_SELF,
     ORDERING_CONSTRAINT,
     SUCC_SELF_IMPLIES_PRED_SELF,
 ]
+
+register_properties(ALL_PROPERTIES + [RING_STABILIZES])

@@ -56,6 +56,7 @@ SPEC = register_system(SystemSpec(
     summary="Chord DHT (Section 5.2.2): ring stabilization inconsistencies",
     protocol_factory=_protocol_factory,
     properties=tuple(ALL_PROPERTIES),
+    property_namespace="chord",
     transition_factory=lambda: TransitionConfig(enable_resets=True,
                                                 max_resets_per_node=1),
     scenarios={

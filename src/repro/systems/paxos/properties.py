@@ -2,6 +2,8 @@
 
 The property installed in the paper's experiments is the original Paxos
 safety property: at most one value can be chosen, across all nodes.
+Registered under the ``paxos.`` namespace in the global property registry;
+``ALL_PROPERTIES`` keeps the historical check order.
 """
 
 from __future__ import annotations
@@ -9,7 +11,12 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ...mc.global_state import GlobalState
-from ...mc.properties import SafetyProperty, node_property
+from ...properties import (
+    SafetyProperty,
+    leads_to,
+    node_property,
+    register_properties,
+)
 from ...runtime.address import Address
 from .state import PaxosState
 
@@ -49,18 +56,44 @@ def _accepted_implies_promised(addr: Address, state: PaxosState,
 AT_MOST_ONE_VALUE_CHOSEN = SafetyProperty(
     "paxos.at_most_one_value_chosen", _agreement,
     "At most one value can be chosen across all nodes (the original Paxos "
-    "safety property).")
+    "safety property).",
+    severity="critical", tags=("consensus", "agreement"))
 
 LOCAL_AGREEMENT = node_property(
     "paxos.local_agreement", _local_agreement,
-    "A single learner never observes two different chosen values.")
+    "A single learner never observes two different chosen values.",
+    severity="critical", tags=("consensus", "agreement"))
 
 ACCEPTED_IMPLIES_PROMISED = node_property(
     "paxos.accepted_implies_promised", _accepted_implies_promised,
-    "An acceptor's accepted round never exceeds its promised round.")
+    "An acceptor's accepted round never exceeds its promised round.",
+    severity="error", tags=("consensus",))
+
+
+def _proposal_pending(gs: GlobalState) -> bool:
+    states = [nl.state for nl in gs.nodes.values()
+              if isinstance(nl.state, PaxosState)]
+    return any(s.proposing or s.pending_proposal is not None for s in states)
+
+
+def _some_value_chosen(gs: GlobalState) -> bool:
+    states = [nl.state for nl in gs.nodes.values()
+              if isinstance(nl.state, PaxosState)]
+    return any(s.chosen_values for s in states)
+
+
+#: Bounded liveness (opt-in): an active proposal reaches a decision.
+EVENTUALLY_CHOSEN = leads_to(
+    "paxos.eventually_chosen",
+    _proposal_pending, _some_value_chosen, within=45.0,
+    description="Once some node is proposing, a value must be chosen "
+                "somewhere within 45 s of simulated time.",
+    tags=("consensus",))
 
 ALL_PROPERTIES: list[SafetyProperty] = [
     AT_MOST_ONE_VALUE_CHOSEN,
     LOCAL_AGREEMENT,
     ACCEPTED_IMPLIES_PROMISED,
 ]
+
+register_properties(ALL_PROPERTIES + [EVENTUALLY_CHOSEN])

@@ -79,6 +79,7 @@ SPEC = register_system(SystemSpec(
     summary="Single-instance Paxos (Section 5.4.2): injected consensus bugs",
     protocol_factory=_protocol_factory,
     properties=tuple(ALL_PROPERTIES),
+    property_namespace="paxos",
     transition_factory=lambda: TransitionConfig(enable_resets=False),
     scenarios={
         "figure13-bug1": ScenarioSpec(

@@ -56,6 +56,7 @@ SPEC = register_system(SystemSpec(
     summary="Random overlay tree (Section 1.2): the paper's running example",
     protocol_factory=_protocol_factory,
     properties=tuple(ALL_PROPERTIES),
+    property_namespace="randtree",
     transition_factory=lambda: TransitionConfig(enable_resets=True,
                                                 max_resets_per_node=1),
     scenarios={

@@ -1,0 +1,79 @@
+"""Pinned semantics of RunReport.violations_observed().
+
+``--fail-on-violation`` (run and campaign) gates on this number, so its
+composition is load-bearing: live monitor inconsistent states, plus offline
+search violations, plus expired liveness obligations, with the scripted
+scenarios' ``violation_occurred`` flag as a fallback that only contributes
+when everything else is zero.  Predicted-but-avoided violations never count.
+"""
+
+from repro.api import Experiment, RunReport
+from repro.api.report import NodeReport
+
+
+def _report(monitor=None, outcome=None, nodes=()):
+    return RunReport(system="test", monitor=monitor or {},
+                     outcome=outcome or {}, nodes=list(nodes))
+
+
+def test_counts_live_monitor_inconsistent_states():
+    assert _report(monitor={"inconsistent_states": 4}).violations_observed() == 4
+
+
+def test_adds_offline_search_violations():
+    report = _report(monitor={"inconsistent_states": 2},
+                     outcome={"violations": 3})
+    assert report.violations_observed() == 5
+
+
+def test_adds_liveness_violations():
+    report = _report(monitor={"inconsistent_states": 1,
+                              "liveness_violations": 2})
+    assert report.violations_observed() == 3
+
+
+def test_violation_occurred_is_a_fallback_only():
+    # Contributes exactly 1 when nothing else counted...
+    assert _report(outcome={"violation_occurred": True}).violations_observed() == 1
+    # ...and nothing when the monitor already counted the same run.
+    report = _report(monitor={"inconsistent_states": 7},
+                     outcome={"violation_occurred": True})
+    assert report.violations_observed() == 7
+
+
+def test_none_and_missing_outcome_values_count_as_zero():
+    assert _report(outcome={"violations": None}).violations_observed() == 0
+    assert _report().violations_observed() == 0
+
+
+def test_predicted_but_avoided_violations_do_not_count():
+    node = NodeReport(node="1.0.0.1", mode="steering",
+                      stats={"violations_predicted": 9,
+                             "steering_modified_behavior": 9})
+    report = _report(nodes=[node])
+    assert report.total_predicted() == 9
+    assert report.violations_observed() == 0, (
+        "prediction is the product working, not the system failing")
+
+
+def test_live_run_with_violations_matches_monitor_counts():
+    report = (Experiment("randtree")
+              .nodes(5)
+              .duration(120.0)
+              .churn(interval=50.0)
+              .network(rst_loss=0.6)
+              .options(bootstrap_index=1, max_children=2,
+                       fix_recovery_timer=True)
+              .seed(9)
+              .run())
+    expected = (report.monitor["inconsistent_states"]
+                + report.monitor["liveness_violations"])
+    assert report.violations_observed() == expected
+
+
+def test_offline_scenario_counts_search_violations():
+    report = (Experiment("randtree").scenario("figure2").seed(0).run())
+    assert report.outcome["violations"] > 0
+    assert report.violations_observed() == report.outcome["violations"]
+    assert sum(report.violations_by_property().values()) == \
+        report.outcome["violations"]

@@ -1,0 +1,121 @@
+"""Bounded-liveness operators: eventually / leads_to tracker semantics."""
+
+import pytest
+
+from repro.mc import GlobalState
+from repro.properties import eventually, leads_to
+
+
+def _state():
+    return GlobalState(nodes={})
+
+
+def test_eventually_satisfied_within_window_is_silent():
+    flag = {"ok": False}
+    prop = eventually("t.ev", lambda gs: flag["ok"], within=10.0)
+    tracker = prop.make_tracker()
+    assert tracker.observe(_state(), 0.0) == []
+    flag["ok"] = True
+    assert tracker.observe(_state(), 5.0) == []
+    # Later deadline passages stay silent: the obligation is discharged.
+    flag["ok"] = False
+    assert tracker.observe(_state(), 50.0) == []
+    assert tracker.finalize(100.0) == []
+
+
+def test_eventually_reports_once_after_deadline():
+    prop = eventually("t.ev", lambda gs: False, within=10.0)
+    tracker = prop.make_tracker()
+    assert tracker.observe(_state(), 2.0) == []  # window opens at 2.0
+    assert tracker.observe(_state(), 12.0) == []  # deadline is 12.0, not past
+    failures = tracker.observe(_state(), 12.5)
+    assert len(failures) == 1
+    node, detail = failures[0]
+    assert node is None and "did not hold within 10" in detail
+    # Only one report per run.
+    assert tracker.observe(_state(), 20.0) == []
+    assert tracker.finalize(30.0) == []
+
+
+def test_eventually_pred_true_only_after_deadline_still_violates():
+    """The first post-deadline observation must report expiry even when
+    the predicate happens to hold at that observation — it did not hold
+    *within* the window."""
+    flag = {"ok": False}
+    prop = eventually("t.ev", lambda gs: flag["ok"], within=10.0)
+    tracker = prop.make_tracker()
+    assert tracker.observe(_state(), 5.0) == []  # window opens, deadline 15
+    flag["ok"] = True
+    failures = tracker.observe(_state(), 20.0)
+    assert len(failures) == 1
+    assert tracker.finalize(30.0) == []
+
+
+def test_eventually_finalize_flushes_pending_deadline():
+    prop = eventually("t.ev", lambda gs: False, within=10.0)
+    tracker = prop.make_tracker()
+    tracker.observe(_state(), 0.0)
+    assert len(tracker.finalize(11.0)) == 1
+
+
+def test_leads_to_goal_within_window_is_silent():
+    flags = {"trigger": False, "goal": False}
+    prop = leads_to("t.lt", lambda gs: flags["trigger"],
+                    lambda gs: flags["goal"], within=10.0)
+    tracker = prop.make_tracker()
+    assert tracker.observe(_state(), 0.0) == []
+    flags["trigger"] = True
+    assert tracker.observe(_state(), 1.0) == []  # obligation opens
+    flags["goal"] = True
+    assert tracker.observe(_state(), 5.0) == []  # discharged
+    assert tracker.finalize(100.0) == []
+
+
+def test_leads_to_expires_and_rearms_on_next_edge():
+    flags = {"trigger": False, "goal": False}
+    prop = leads_to("t.lt", lambda gs: flags["trigger"],
+                    lambda gs: flags["goal"], within=10.0)
+    tracker = prop.make_tracker()
+    flags["trigger"] = True
+    tracker.observe(_state(), 0.0)  # opens, deadline 10.0
+    flags["trigger"] = False
+    assert tracker.observe(_state(), 5.0) == []
+    failures = tracker.observe(_state(), 11.0)
+    assert len(failures) == 1
+    assert "within 10" in failures[0][1]
+    # Re-arms on the next trigger edge only.
+    assert tracker.observe(_state(), 12.0) == []
+    flags["trigger"] = True
+    assert tracker.observe(_state(), 13.0) == []  # new obligation
+    failures = tracker.observe(_state(), 24.0)
+    assert len(failures) == 1
+
+
+def test_leads_to_level_triggered_trigger_does_not_stack_obligations():
+    flags = {"trigger": True, "goal": False}
+    prop = leads_to("t.lt", lambda gs: flags["trigger"],
+                    lambda gs: flags["goal"], within=10.0)
+    tracker = prop.make_tracker()
+    tracker.observe(_state(), 0.0)
+    tracker.observe(_state(), 1.0)  # trigger still true: same obligation
+    failures = tracker.observe(_state(), 11.0)
+    assert len(failures) == 1
+    assert tracker.finalize(50.0) == []
+
+
+def test_leads_to_finalize_flushes_open_obligation():
+    prop = leads_to("t.lt", lambda gs: True, lambda gs: False, within=10.0)
+    tracker = prop.make_tracker()
+    tracker.observe(_state(), 0.0)
+    assert tracker.finalize(10.5) and tracker.finalize(10.5) == []
+
+
+def test_liveness_metadata():
+    prop = eventually("t.meta", lambda gs: True, within=30.0,
+                      description="meta test")
+    assert prop.kind == "liveness"
+    assert not prop.state_checkable
+    assert "liveness" in prop.tags
+    assert prop.describe()["within"] == 30.0
+    with pytest.raises(ValueError, match="must be positive"):
+        eventually("t.bad", lambda gs: True, within=0.0)

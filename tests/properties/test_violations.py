@@ -1,0 +1,67 @@
+"""Structured ViolationRecord and the process-stable state digest."""
+
+import json
+
+from repro.mc import GlobalState
+from repro.properties import ViolationRecord, state_digest
+from repro.runtime import Address
+from repro.systems.randtree import RandTree, RandTreeConfig
+
+
+def _gs(root=None):
+    protocol = RandTree(RandTreeConfig())
+    addr = Address(1)
+    state = protocol.initial_state(addr)
+    if root is not None:
+        state.root = root
+    return GlobalState.from_snapshot({addr: state})
+
+
+def test_state_digest_is_stable_for_equal_states_and_differs_otherwise():
+    assert state_digest(_gs()) == state_digest(_gs())
+    assert state_digest(_gs()) != state_digest(_gs(root=Address(7)))
+    assert len(state_digest(_gs())) == 16
+
+
+def test_state_digest_does_not_depend_on_python_hash_seed():
+    # sha1 over the canonical signature repr, not builtin hash(): the
+    # digest must agree across worker processes with different hash seeds.
+    import pathlib
+    import subprocess
+    import sys
+
+    repo_root = str(pathlib.Path(__file__).resolve().parents[2])
+    script = (
+        "import sys; sys.path.insert(0, 'src')\n"
+        "from repro.properties import state_digest\n"
+        "from repro.mc import GlobalState\n"
+        "from repro.runtime import Address\n"
+        "from repro.systems.randtree import RandTree, RandTreeConfig\n"
+        "p = RandTree(RandTreeConfig()); a = Address(1)\n"
+        "print(state_digest(GlobalState.from_snapshot({a: p.initial_state(a)})))\n"
+    )
+    digests = set()
+    for seed in ("0", "12345"):
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env={"PYTHONHASHSEED": seed, "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, cwd=repo_root, check=True)
+        digests.add(out.stdout.strip())
+    assert len(digests) == 1, digests
+
+
+def test_record_round_trips_through_json():
+    record = ViolationRecord(
+        property_id="randtree.no_self_reference", severity="error",
+        node="1.0.0.1", detail="node lists itself as a child",
+        sim_time=12.5, episode=3, state_digest="ab" * 8, kind="safety")
+    payload = json.loads(json.dumps(record.to_dict()))
+    assert ViolationRecord.from_dict(payload) == record
+
+
+def test_record_defaults_tolerate_sparse_dicts():
+    record = ViolationRecord.from_dict({"property_id": "x.y"})
+    assert record.severity == "error"
+    assert record.node is None
+    assert record.kind == "safety"
+    assert record.episode == 0
