@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Observability: tracing a steered run and explaining a steering decision.
+
+This walkthrough reruns the fault-injection scenario (see
+``examples/fault_injection.py``) with the observability surface switched
+on: a structured JSONL trace streams every event execution, message edge,
+checkpoint gather, model-checker run and steering decision to disk, and a
+metrics registry counts the run.  The trace is then mined for the *causal
+chain* behind the last steering decision — partition injected, checkpoint
+taken, neighbourhood snapshot assembled, consequence prediction run,
+violation predicted, filter installed — the paper's feedback loop, record
+by record.
+
+The same analysis is available from the command line::
+
+    python -m repro run randtree --mode steering --faults partition \\
+        --trace out.jsonl
+    python -m repro trace out.jsonl --summary
+    python -m repro trace out.jsonl --why-steering 2:5000
+    python -m repro trace out.jsonl --chrome chrome.json   # chrome://tracing
+
+Run with::
+
+    python examples/trace_run.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.api import Experiment
+from repro.core import Mode
+from repro.mc import SearchBudget
+from repro.obs import causal_chain, format_records, summarize_records
+from repro.obs.trace_tools import read_trace
+
+SEED = 9
+
+
+def run(trace_path: Path):
+    return (Experiment("randtree")
+            .nodes(5)
+            .duration(200)
+            .churn(False)                      # the nemesis is the only adversary
+            .network(rst_loss=0.6)
+            .crystalball(Mode.STEERING,
+                         budget=SearchBudget(max_states=300, max_depth=6))
+            .options(bootstrap_index=1, max_children=2,
+                     fix_recovery_timer=True)
+            .faults("partition")
+            .seed(SEED)
+            .trace(trace_path)                 # JSONL trace, schema v1
+            .metrics(True)                     # counters into report.metrics
+            .run())
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_path = Path(tmp) / "steering.jsonl"
+        print("Running a steered, partitioned RandTree with tracing on ...")
+        report = run(trace_path)
+        records = read_trace(trace_path)
+
+        summary = summarize_records(records)
+        print(f"\ntrace: {summary.total_events} records over "
+              f"{summary.duration():.0f}s simulated")
+        for kind, count in sorted(summary.by_kind.items()):
+            print(f"  {kind:<16} {count}")
+
+        counters = report.metrics["counters"]
+        print(f"\nmetrics: {counters['runtime.messages_sent']} messages, "
+              f"{counters['mc.states_visited']} states model-checked, "
+              f"{counters.get('controller.filters_installed', 0)} filters "
+              f"installed")
+
+        # Which node did steering touch?  Ask the trace, not the report.
+        steered_nodes = sorted({
+            record["node"] for record in records
+            if record["kind"] == "filter_install"
+        })
+        if not steered_nodes:
+            print("\nThis seed produced no steering decision; try another.")
+            return
+        node = steered_nodes[0]
+        print(f"\nWhy did steering fire on node {node}?")
+        chain = causal_chain(records, node)
+        print(format_records(chain, limit=len(chain)))
+        print("\nRead bottom-up: the filter install is justified by the "
+              "predicted violations,\nwhich came out of the model-checker "
+              "run, which consumed the snapshot built\nfrom the "
+              "checkpoints — all downstream of the injected partition.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Bench gate: fail CI when the disabled observability path stops being free.
+
+Judges a freshly measured ``BENCH_obs_overhead.json`` record (written by
+``benchmarks/bench_obs_overhead.py``, typically in quick mode) against an
+absolute ceiling: the no-op-tracer run — a conservative upper bound on the
+disabled path — may cost at most ``--max-pct`` (default 3%) over the
+disabled run.  The committed baseline at the repository root is printed
+for context; the gate itself is absolute because the invariant is
+("disabled observability is free"), not ("no slower than last time").
+
+Usage::
+
+    python scripts/check_obs_overhead.py NEW.json [--baseline BASE.json]
+        [--max-pct 3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new", type=Path,
+                        help="freshly measured BENCH_obs_overhead.json")
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_obs_overhead.json",
+                        help="committed baseline record (context only)")
+    parser.add_argument("--max-pct", type=float, default=3.0,
+                        help="maximum tolerated disabled-path overhead")
+    args = parser.parse_args(argv)
+
+    new = json.loads(args.new.read_text())
+    overhead = float(new["disabled_overhead_pct"])
+
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        print(f"baseline: {baseline['scenario']} disabled overhead "
+              f"{baseline['disabled_overhead_pct']:.2f}% "
+              f"(traced {baseline['traced_overhead_pct']:.2f}%)")
+    print(f"measured: {new['scenario']} disabled overhead "
+          f"{overhead:.2f}% (traced {new['traced_overhead_pct']:.2f}%, "
+          f"quick={new.get('quick', False)}, "
+          f"events {new.get('events_executed')})")
+    print(f"ceiling: {args.max_pct:.2f}%")
+
+    if overhead >= args.max_pct:
+        print(f"FAIL: disabled-path overhead {overhead:.2f}% is at or over "
+              f"the {args.max_pct:.2f}% ceiling", file=sys.stderr)
+        return 1
+    print("OK: disabled observability stays under the ceiling")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -38,6 +38,9 @@ Package layout
 ``repro.campaign``
     Declarative sweeps over system × scenario × faults × seeds × modes,
     executed across a worker pool with a resumable JSONL result store.
+``repro.obs``
+    Observability: structured JSONL tracing, the metrics registry, stdlib
+    logging wiring and trace analysis/export tooling.
 """
 
 from . import (
@@ -47,13 +50,14 @@ from . import (
     core,
     faults,
     mc,
+    obs,
     properties,
     runtime,
     sim,
     systems,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
-__all__ = ["analysis", "api", "campaign", "core", "faults", "mc",
+__all__ = ["analysis", "api", "campaign", "core", "faults", "mc", "obs",
            "properties", "runtime", "sim", "systems", "__version__"]

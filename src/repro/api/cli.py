@@ -18,6 +18,7 @@ import sys
 from typing import Any, Optional, Sequence
 
 from ..analysis.reporting import format_table, render_run_report
+from ..obs import configure_logging, progress_logger
 from .experiment import Experiment, parse_mode
 from .registry import list_systems
 
@@ -47,18 +48,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Run CrystalBall experiments over the registered systems.")
+    # Shared by every subcommand through parents=[...]: a -v defined on the
+    # root parser alone would be reset by the subparser's own defaults.
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log more (-v: info, -vv: debug)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    list_cmd = sub.add_parser("list", help="list registered systems and scenarios")
+    list_cmd = sub.add_parser("list", parents=[common],
+                              help="list registered systems and scenarios")
     list_cmd.add_argument("--json", action="store_true", dest="as_json",
                           help="machine-readable output")
 
-    faults_cmd = sub.add_parser("faults", help="list fault-injection presets")
+    faults_cmd = sub.add_parser("faults", parents=[common],
+                                help="list fault-injection presets")
     faults_cmd.add_argument("--json", action="store_true", dest="as_json",
                             help="machine-readable output")
 
     props_cmd = sub.add_parser(
-        "properties",
+        "properties", parents=[common],
         help="list the registered safety/liveness properties")
     props_cmd.add_argument("pattern", nargs="?", default=None,
                            help="glob filter over property ids "
@@ -66,7 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
     props_cmd.add_argument("--json", action="store_true", dest="as_json",
                            help="machine-readable output")
 
-    run = sub.add_parser("run", help="run one system or scripted scenario")
+    run = sub.add_parser("run", parents=[common],
+                         help="run one system or scripted scenario")
     run.add_argument("system", help="registered system name (see `list`)")
     run.add_argument("--scenario", default=None,
                      help="named scripted scenario instead of a live run")
@@ -113,11 +122,45 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--option", metavar="KEY=VALUE", type=_parse_option,
                      action="append", default=[],
                      help="system/scenario-specific option (repeatable)")
+    run.add_argument("--trace", metavar="PATH", default=None,
+                     help="write a structured JSONL execution trace to PATH "
+                          "(inspect with `python -m repro trace PATH`)")
+    run.add_argument("--metrics", action="store_true",
+                     help="collect obs metrics into the report")
     run.add_argument("--json", action="store_true", dest="as_json",
                      help="print the full RunReport as JSON")
 
+    trace = sub.add_parser(
+        "trace", parents=[common],
+        help="inspect a JSONL trace written by `run --trace`")
+    trace.add_argument("file", help="trace file (JSONL, schema v1)")
+    trace.add_argument("--summary", action="store_true",
+                       help="per-kind/per-node summary (default when no "
+                            "filter is given)")
+    trace.add_argument("--node", default=None,
+                       help="only records from this node")
+    trace.add_argument("--kind", default=None,
+                       help="only records of this kind (event, send, "
+                            "deliver, mc_run, filter_install, ...)")
+    trace.add_argument("--contains", default=None,
+                       help="only records whose JSON contains this "
+                            "substring")
+    trace.add_argument("--limit", type=int, default=50,
+                       help="max records to list (default 50)")
+    trace.add_argument("--chrome", metavar="OUT", default=None,
+                       help="export as a Chrome trace-event JSON "
+                            "(chrome://tracing, Perfetto)")
+    trace.add_argument("--why-steering", metavar="NODE", default=None,
+                       help="show the causal chain behind the last "
+                            "steering decision on NODE")
+    trace.add_argument("--validate", action="store_true",
+                       help="check the file against trace schema v1 and "
+                            "exit")
+    trace.add_argument("--json", action="store_true", dest="as_json",
+                       help="machine-readable output")
+
     campaign = sub.add_parser(
-        "campaign",
+        "campaign", parents=[common],
         help="sweep systems × scenarios × fault presets × seeds × modes "
              "across a worker pool")
     campaign.add_argument(
@@ -313,6 +356,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
     if args.option:
         experiment.options(**dict(args.option))
+    if args.trace is not None:
+        experiment.trace(args.trace)
+    if args.metrics:
+        experiment.metrics(True)
 
     try:
         report = experiment.run()
@@ -329,6 +376,85 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"error: run observed {report.violations_observed()} safety "
               f"violation(s) (--fail-on-violation)", file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from ..obs import (
+        causal_chain,
+        filter_records,
+        format_records,
+        summarize_records,
+        validate_trace,
+        write_chrome_trace,
+    )
+    from ..obs.trace_tools import read_trace
+
+    try:
+        records = read_trace(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    problems = validate_trace(records)
+    if args.validate:
+        if problems:
+            for problem in problems:
+                print(f"error: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.file}: schema v1 OK ({len(records)} records)")
+        return 0
+    for problem in problems:
+        print(f"warning: {problem}", file=sys.stderr)
+
+    if args.chrome is not None:
+        written = write_chrome_trace(records, args.chrome)
+        print(f"wrote {written} trace events to {args.chrome} "
+              f"(open in chrome://tracing or Perfetto)")
+        return 0
+
+    if args.why_steering is not None:
+        chain = causal_chain(records, args.why_steering)
+        if not chain:
+            print(f"no steering activity recorded for node "
+                  f"{args.why_steering}", file=sys.stderr)
+            return 1
+        if args.as_json:
+            print(json.dumps(chain, indent=2, sort_keys=True))
+        else:
+            print(format_records(chain, limit=len(chain)))
+        return 0
+
+    filtered = filter_records(records, node=args.node, kind=args.kind,
+                              contains=args.contains)
+    has_filter = any(value is not None
+                     for value in (args.node, args.kind, args.contains))
+    if args.summary or not has_filter:
+        summary = summarize_records(records if not has_filter else filtered)
+        if args.as_json:
+            print(json.dumps({
+                "total_records": summary.total_events,
+                "by_kind": summary.by_kind,
+                "by_node": summary.by_node,
+                "first_time": summary.first_time,
+                "last_time": summary.last_time,
+            }, indent=2, sort_keys=True))
+            return 0
+        meta = records[0] if records and records[0].get("kind") == "meta" \
+            else {}
+        if meta:
+            print(f"{args.file}: {meta.get('system')} "
+                  f"seed={meta.get('seed')} mode={meta.get('mode')} "
+                  f"nodes={meta.get('nodes')}")
+        print(f"records: {summary.total_events} spanning "
+              f"{summary.duration():g}s simulated")
+        for kind, count in sorted(summary.by_kind.items()):
+            print(f"  {kind:<16} {count}")
+        return 0
+    if args.as_json:
+        print(json.dumps(filtered, indent=2, sort_keys=True))
+    else:
+        print(format_records(filtered, limit=args.limit))
     return 0
 
 
@@ -375,8 +501,11 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         **axis_kwargs,
     )
 
+    log = progress_logger()
+
     def progress(record: dict) -> None:
-        # Progress goes to stderr so --json keeps stdout machine-readable.
+        # Progress goes through the always-on stderr progress logger so
+        # --json keeps stdout machine-readable.
         run = record["run"]
         if record["status"] == "ok":
             summary = record["summary"]
@@ -384,8 +513,8 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
                       f"observed={summary['violations_observed']}")
         else:
             detail = (record["error"] or "").strip().splitlines()[-1]
-        print(f"{record['status']:<5} {run['run_id']:<48} {detail} "
-              f"({record['wall_clock_seconds']:.1f}s)", file=sys.stderr)
+        log.info("%-5s %-48s %s (%.1fs)", record["status"], run["run_id"],
+                 detail, record["wall_clock_seconds"])
 
     try:
         report = run_campaign(spec, jobs=args.jobs, out=args.out,
@@ -425,6 +554,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(getattr(args, "verbose", 0))
     if args.command == "list":
         return _cmd_list(args.as_json)
     if args.command == "faults":
@@ -433,6 +563,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_properties(args.pattern, args.as_json)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_run(args)
 
 

@@ -39,6 +39,7 @@ from ..faults.base import Fault
 from ..faults.nemesis import Nemesis
 from ..faults.presets import make_nemesis
 from ..mc.search import SearchBudget, SearchResult
+from ..obs import JsonlTracer, MetricsRegistry, ObsContext, Tracer
 from ..properties import Property, SafetyProperty, resolve_properties
 from ..properties.registry import PropertySelector
 from ..mc.transition import TransitionConfig, TransitionSystem
@@ -77,6 +78,7 @@ def build_run_report(
     wall_clock_seconds: float = 0.0,
     outcome: Optional[dict] = None,
     nemesis: Optional[Nemesis] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> RunReport:
     """Assemble a :class:`RunReport` from the live objects of one run."""
     return RunReport(
@@ -93,6 +95,7 @@ def build_run_report(
         monitor=monitor.report() if monitor is not None else {},
         outcome=outcome or {},
         faults=nemesis.report() if nemesis is not None else {},
+        metrics=metrics.snapshot() if metrics is not None else {},
         simulator=sim,
         controllers=dict(controllers),
         live_monitor=monitor,
@@ -283,16 +286,41 @@ class LiveRun:
     options: Mapping[str, Any] = field(default_factory=dict)
     system_name: str = "custom"
     scenario_name: Optional[str] = None
+    #: Structured tracing: a JSONL output path or a ready
+    #: :class:`~repro.obs.Tracer` instance; None (default) disables it.
+    trace: Optional[Union[str, Tracer]] = None
+    #: Metrics: True builds a fresh registry snapshotted into
+    #: ``RunReport.metrics``; a :class:`~repro.obs.MetricsRegistry`
+    #: instance is used as-is; False (default) disables metrics.
+    metrics: Union[bool, MetricsRegistry] = False
 
     def addresses(self) -> list[Address]:
         return make_addresses(self.node_count, start=self.address_start)
+
+    def _build_obs(self) -> ObsContext:
+        tracer: Optional[Tracer] = None
+        if self.trace is not None:
+            tracer = (self.trace if isinstance(self.trace, Tracer)
+                      else JsonlTracer(self.trace))
+        registry: Optional[MetricsRegistry] = None
+        if self.metrics:
+            registry = (self.metrics
+                        if isinstance(self.metrics, MetricsRegistry)
+                        else MetricsRegistry())
+        return ObsContext(tracer=tracer, metrics=registry)
 
     def run(self) -> RunReport:
         started = time.perf_counter()
         addresses = self.addresses()
         network = self.network or NetworkModel()
+        obs = self._build_obs()
         sim = Simulator(self.protocol_factory, network, seed=self.seed,
-                        tick_interval=self.tick_interval)
+                        tick_interval=self.tick_interval, obs=obs)
+        if obs.tracer is not None:
+            obs.tracer.meta(
+                system=self.system_name, scenario=self.scenario_name,
+                mode=self.crystalball_mode.value, seed=self.seed,
+                nodes=self.node_count)
         for addr in addresses:
             sim.add_node(addr)
 
@@ -355,6 +383,10 @@ class LiveRun:
         # still count; finalize is a no-op for pure-safety property sets.
         monitor.finalize(sim.now)
 
+        if obs.tracer is not None:
+            obs.tracer.run_end(sim.now, sim.events_executed)
+        obs.close()
+
         outcome = self.collect(sim) if self.collect is not None else {}
         return build_run_report(
             system=self.system_name,
@@ -368,6 +400,7 @@ class LiveRun:
             wall_clock_seconds=time.perf_counter() - started,
             outcome=outcome,
             nemesis=nemesis,
+            metrics=obs.metrics,
         )
 
 
@@ -400,6 +433,8 @@ class Experiment:
         self._property_exclude: list[str] = []
         self._incremental_monitor = True
         self._max_events = 500_000
+        self._trace: Optional[Union[str, Tracer]] = None
+        self._metrics = False
         #: builder knobs the caller set explicitly (used to forward what a
         #: scripted scenario can honor and warn about what it cannot).
         self._explicit: set[str] = set()
@@ -606,6 +641,36 @@ class Experiment:
         self._explicit.add("properties")
         return self
 
+    def trace(self, path: Union[str, Tracer, None]) -> "Experiment":
+        """Record a structured JSONL execution trace of the live run.
+
+        ``path`` is the output file; inspect it afterwards with
+        ``python -m repro trace <path>`` (summary, filtering, Chrome
+        export, causal-chain queries).  A :class:`~repro.obs.Tracer`
+        instance is also accepted (e.g. ``MemoryTracer`` in tests);
+        ``None`` turns tracing back off.  Tracing never perturbs the run:
+        a seeded run is bit-identical with tracing on or off.
+        """
+        self._trace = path
+        if path is not None:
+            self._explicit.add("trace")
+        else:
+            self._explicit.discard("trace")
+        return self
+
+    def metrics(self, enabled: bool = True) -> "Experiment":
+        """Collect ``repro.obs`` metrics into ``RunReport.metrics``.
+
+        Counters and gauges are deterministic per seed; histograms hold
+        wall-clock timings (controller phases, model-checker runs).
+        """
+        self._metrics = bool(enabled)
+        if enabled:
+            self._explicit.add("metrics")
+        else:
+            self._explicit.discard("metrics")
+        return self
+
     def incremental_monitor(self, enabled: bool = True) -> "Experiment":
         """Toggle the live monitor's dirty-node fast path (default on)."""
         self._incremental_monitor = bool(enabled)
@@ -663,7 +728,7 @@ class Experiment:
             "network", "churn", "engine", "portfolio", "max_events",
             "properties", "transition", "immediate_check",
             "check_filter_safety", "checker_nodes", "faults",
-            "incremental_monitor"}
+            "incremental_monitor", "trace", "metrics"}
 
         def forward(setting: str, key: str, value: Any) -> None:
             if key in named:
@@ -727,6 +792,8 @@ class Experiment:
             collect=self._spec.collect,
             options=self._options,
             system_name=self._spec.name,
+            trace=self._trace,
+            metrics=self._metrics,
         )
         return live.run()
 
@@ -817,10 +884,13 @@ class Experiment:
                     "selection; its Property instances are dropped from "
                     "the sweep", UserWarning, stacklevel=2)
             property_axis = list(properties)
+        # "metrics" carries implicitly: campaign workers always collect
+        # metrics into each cell's report.  A trace file cannot be shared
+        # across worker processes, so it is dropped with a warning.
         uncarried = self._explicit & {
             "engine", "portfolio", "max_events", "transition",
             "immediate_check", "check_filter_safety", "checker_nodes",
-            "incremental_monitor"}
+            "incremental_monitor", "trace"}
         if self._cb_config is not None or "search_budget" in self._cb_kwargs:
             uncarried = uncarried | {"crystalball config/budget"}
         if uncarried:

@@ -72,6 +72,10 @@ class RunReport:
     #: Nemesis summary: injected-fault count, per-fault-type breakdown and
     #: the (bounded) schedule of fault events (see repro.faults).
     faults: dict[str, Any] = field(default_factory=dict)
+    #: ``repro.obs`` metrics snapshot (counters/gauges/histograms) when the
+    #: run had metrics enabled; empty otherwise.  Histogram values carry
+    #: wall-clock timings and are excluded from deterministic comparisons.
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     # Live handles, excluded from serialization.
     simulator: Any = field(default=None, repr=False, compare=False)
@@ -210,6 +214,7 @@ class RunReport:
                 "by_severity": self.violations_by_severity(),
             },
             "faults": to_jsonable(self.faults),
+            "metrics": to_jsonable(self.metrics),
             "monitor": to_jsonable(self.monitor),
             "outcome": to_jsonable(self.outcome),
             "nodes": [node.to_dict() for node in self.nodes],

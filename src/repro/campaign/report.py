@@ -78,6 +78,9 @@ class CampaignReport:
     #: per-property columns: property id -> {"violations", "runs_affected"},
     #: folded from every successful run's per-property violation counts.
     properties: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: deterministic obs counters summed over every successful run, sorted
+    #: by name (parallel.* counters are already excluded per-run).
+    metrics: dict[str, int] = field(default_factory=dict)
     timing: dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -113,6 +116,7 @@ class CampaignReport:
             "totals": self.totals,
             "rollups": self.rollups,
             "properties": self.properties,
+            "metrics": self.metrics,
             "failures": self.failures,
             "runs": self.runs,
         }
@@ -143,6 +147,7 @@ def build_campaign_report(
     totals = _empty_bucket()
     rollups: dict[str, dict[str, dict[str, Any]]] = {axis: {} for axis in _AXES}
     properties: dict[str, dict[str, int]] = {}
+    metrics: dict[str, int] = {}
     failures = []
     run_rows = []
     for record in ordered:
@@ -161,6 +166,10 @@ def build_campaign_report(
                 )
                 column["violations"] += int(count)
                 column["runs_affected"] += 1
+            for name, value in (
+                (record.get("summary") or {}).get("metrics") or {}
+            ).items():
+                metrics[name] = metrics.get(name, 0) + int(value)
         if record["status"] != "ok":
             failures.append(
                 {
@@ -187,6 +196,7 @@ def build_campaign_report(
         axis: dict(sorted(buckets.items())) for axis, buckets in rollups.items()
     }
     properties = dict(sorted(properties.items()))
+    metrics = dict(sorted(metrics.items()))
     run_wall_clock = sum(
         float(record.get("wall_clock_seconds") or 0.0) for record in ordered
     )
@@ -201,6 +211,7 @@ def build_campaign_report(
         totals=totals,
         rollups=rollups,
         properties=properties,
+        metrics=metrics,
         failures=failures,
         runs=run_rows,
         timing=timing,

@@ -64,6 +64,11 @@ def run_one(run: RunSpec) -> RunReport:
                               exclude=run.properties_exclude)
     if run.options:
         experiment.options(**dict(run.options))
+    # Metrics are always on for live cells: counters are deterministic and
+    # feed the aggregate's metrics rollup (cheap — no tracing).  Scripted
+    # scenarios build their own simulators and cannot honor the setting.
+    if run.scenario is None:
+        experiment.metrics(True)
     return experiment.run()
 
 
@@ -75,8 +80,16 @@ def summarize_report(report: RunReport) -> dict[str, Any]:
     campaign yield identical aggregate JSON.
     """
     accounting = report.accounting()
+    # Of the obs metrics, only counters reproduce bit-for-bit from the
+    # seed, and parallel.* counters depend on worker scheduling — the
+    # rollup takes exactly the deterministic remainder (the same subset
+    # MetricsRegistry.counters() exposes).
+    counters = (report.metrics or {}).get("counters", {})
     return {
         "node_count": report.node_count,
+        "metrics": {name: int(value)
+                    for name, value in sorted(counters.items())
+                    if not name.startswith("parallel.")},
         "simulated_seconds": report.simulated_seconds,
         "churn_events": report.churn_events,
         "faults_injected": report.faults_injected(),

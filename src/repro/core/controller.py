@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import time
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
 
@@ -162,6 +163,7 @@ class CrystalBallController:
         # are dropped here.
         self.properties: list[SafetyProperty] = safety_properties(properties)
         self.config = config or CrystalBallConfig()
+        self._severities = {p.name: p.severity for p in self.properties}
 
         self.system = TransitionSystem(protocol, self.config.transition)
         self.engine = make_engine(self.config.engine)
@@ -186,8 +188,9 @@ class CrystalBallController:
         """Periodic controller activity: finalise the previous snapshot
         round, run the model checker on it, and start a new round."""
         self.stats.ticks += 1
+        tick_started = time.perf_counter()
 
-        local = self._take_checkpoint(node, node.clock.advance())
+        local = self._take_checkpoint(sim, node, node.clock.advance())
 
         if self._pending_gather is not None:
             snapshot = NeighborhoodSnapshot.from_gather(
@@ -203,11 +206,24 @@ class CrystalBallController:
                     snapshot.missing - set(snapshot.checkpoints))
             self.last_snapshot = snapshot
             self.stats.snapshots_collected += 1
+            if sim.obs.metrics is not None:
+                sim.obs.metrics.inc("controller.snapshots_collected")
+                if snapshot.missing:
+                    sim.obs.metrics.inc("controller.incomplete_snapshots")
+            if sim.obs.tracer is not None:
+                sim.obs.tracer.snapshot(
+                    sim.now, node.addr, snapshot.checkpoint_number,
+                    len(snapshot.checkpoints), len(snapshot.missing))
             if self.config.mode in (Mode.DEBUG, Mode.STEERING):
-                self._run_model_checker(node, snapshot)
+                self._run_model_checker(sim, node, snapshot)
             self._pending_gather = None
 
         self._start_gather(sim, node, local)
+        if sim.obs.metrics is not None:
+            sim.obs.metrics.inc("controller.ticks")
+            sim.obs.metrics.observe(
+                "controller.tick_seconds",
+                time.perf_counter() - tick_started)
 
     def filter_event(self, sim: Simulator, node: SimNode, event: Event) -> FilterAction:
         if self.config.mode is not Mode.STEERING:
@@ -216,7 +232,14 @@ class CrystalBallController:
             if event_filter.matches(event):
                 event_filter.times_triggered += 1
                 self.stats.filters_triggered += 1
-                return event_filter.decision(event)
+                action = event_filter.decision(event)
+                if sim.obs.metrics is not None:
+                    sim.obs.metrics.inc("controller.filters_triggered")
+                if sim.obs.tracer is not None:
+                    sim.obs.tracer.filter_trigger(
+                        sim.now, node.addr, event_filter.describe(),
+                        action.value, event.describe())
+                return action
         return FilterAction.ALLOW
 
     def immediate_safety_check(self, sim: Simulator, node: SimNode, event: Event) -> bool:
@@ -246,17 +269,26 @@ class CrystalBallController:
 
     def on_forced_checkpoint(self, sim: Simulator, node: SimNode) -> None:
         self.stats.forced_checkpoints += 1
-        self._take_checkpoint(node, node.clock.value)
+        if sim.obs.metrics is not None:
+            sim.obs.metrics.inc("controller.forced_checkpoints")
+        self._take_checkpoint(sim, node, node.clock.value, forced=True)
 
     # --------------------------------------------------------------- checkpointing
 
-    def _take_checkpoint(self, node: SimNode, checkpoint_number: int) -> Checkpoint:
+    def _take_checkpoint(self, sim: Simulator, node: SimNode,
+                         checkpoint_number: int, *,
+                         forced: bool = False) -> Checkpoint:
         checkpoint = Checkpoint(node=node.addr,
                                 checkpoint_number=checkpoint_number,
                                 state=node.state.clone(),
                                 timers=node.timer_names())
         self.store.record(checkpoint)
         self.stats.checkpoints_taken += 1
+        if sim.obs.metrics is not None:
+            sim.obs.metrics.inc("controller.checkpoints_taken")
+        if sim.obs.tracer is not None:
+            sim.obs.tracer.checkpoint(sim.now, node.addr, checkpoint_number,
+                                      forced=forced)
         return checkpoint
 
     def _start_gather(self, sim: Simulator, node: SimNode, local: Checkpoint) -> None:
@@ -290,7 +322,7 @@ class CrystalBallController:
                 return
 
         if node.clock.observe_request(requested):
-            checkpoint = self._take_checkpoint(node, requested)
+            checkpoint = self._take_checkpoint(sim, node, requested)
         else:
             checkpoint = self.store.respond(requested)
         if checkpoint is None:
@@ -299,6 +331,10 @@ class CrystalBallController:
 
         cost = self.transfer_cache.transfer_cost(requester, checkpoint)
         self.stats.checkpoint_bytes_sent += cost
+        if sim.obs.metrics is not None:
+            sim.obs.metrics.inc("controller.checkpoint_bytes_sent", cost)
+            sim.obs.metrics.observe("controller.checkpoint_response_bytes",
+                                    cost)
         response = Message(
             mtype=CHECKPOINT_RESPONSE,
             src=node.addr,
@@ -344,9 +380,15 @@ class CrystalBallController:
 
     # -------------------------------------------------------------- model checking
 
-    def _run_model_checker(self, node: SimNode, snapshot: NeighborhoodSnapshot) -> None:
+    def _run_model_checker(self, sim: Simulator, node: SimNode,
+                           snapshot: NeighborhoodSnapshot) -> None:
         self.stats.model_checker_runs += 1
+        mc_started = time.perf_counter()
         start_state = snapshot.to_global_state()
+        if sim.obs.metrics is not None:
+            # Engines that profile themselves (ParallelEngine) report into
+            # the run's registry; others simply ignore the attribute.
+            setattr(self.engine, "metrics", sim.obs.metrics)
 
         # Filters are removed after every model-checking run (Section 3.3);
         # previously discovered error paths are replayed first and, if the
@@ -386,6 +428,34 @@ class CrystalBallController:
             self.stats.distinct_violations.add(violation.violation.property_name)
         self.predicted.extend(future)
 
+        mc_wall = time.perf_counter() - mc_started
+        if sim.obs.metrics is not None:
+            metrics = sim.obs.metrics
+            metrics.inc("mc.runs")
+            metrics.inc("mc.states_visited", result.stats.states_visited)
+            metrics.inc("mc.transitions_applied",
+                        result.stats.transitions_applied)
+            metrics.inc("mc.violations_predicted", len(all_violations))
+            metrics.gauge("mc.max_depth_reached").update_max(
+                result.stats.max_depth_reached)
+            metrics.observe("controller.mc_run_seconds", mc_wall)
+        if sim.obs.tracer is not None:
+            engine_name = (self.config.engine
+                           if isinstance(self.config.engine, str)
+                           else type(self.engine).__name__)
+            sim.obs.tracer.mc_run(
+                sim.now, node.addr, engine=engine_name,
+                states=result.stats.states_visited,
+                transitions=result.stats.transitions_applied,
+                depth=result.stats.max_depth_reached,
+                violations=len(all_violations), wall=mc_wall)
+            for violation in all_violations:
+                name = violation.violation.property_name
+                sim.obs.tracer.violation(
+                    sim.now, node.addr, name,
+                    self._severities.get(name, "error"), "predicted",
+                    violation.violation.detail)
+
         for violation in future:
             if violation.path and violation.path not in self.known_error_paths:
                 self.known_error_paths.append(violation.path)
@@ -393,9 +463,11 @@ class CrystalBallController:
             self.known_error_paths = self.known_error_paths[-self.config.max_remembered_paths:]
 
         if self.config.mode is Mode.STEERING:
-            self._install_steering_filters(node, start_state, all_violations)
+            self._install_steering_filters(sim, node, start_state,
+                                           all_violations)
 
-    def _install_steering_filters(self, node: SimNode, start_state: GlobalState,
+    def _install_steering_filters(self, sim: Simulator, node: SimNode,
+                                  start_state: GlobalState,
                                   violations: Sequence[PredictedViolation]) -> None:
         seen_filters: set[tuple] = set()
         for violation in violations:
@@ -416,6 +488,13 @@ class CrystalBallController:
             self.filters.append(decision.filter)
             self.stats.filters_installed += 1
             self.stats.steering_modified_behavior += 1
+            if sim.obs.metrics is not None:
+                sim.obs.metrics.inc("controller.filters_installed")
+            if sim.obs.tracer is not None:
+                sim.obs.tracer.filter_install(
+                    sim.now, node.addr, decision.filter.describe(),
+                    property_id=violation.violation.property_name,
+                    path_len=len(violation.path))
 
     # ------------------------------------------------------------------- reporting
 

@@ -36,6 +36,7 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from ..mc.global_state import GlobalState
+from ..obs.context import ObsContext
 from ..properties import (
     LivenessProperty,
     NodeScopedProperty,
@@ -93,11 +94,14 @@ class LivePropertyMonitor:
         #: node liveness fingerprint at the previous event: addr -> incarnation.
         self._known: dict[Address, int] = {}
         self._finalized = False
+        #: observability for the hosting run; replaced by install().
+        self._obs = ObsContext()
 
     # ------------------------------------------------------------- wiring
 
     def install(self, sim: Simulator) -> "LivePropertyMonitor":
         sim.add_observer(self)
+        self._obs = sim.obs
         for _, tracker in self._trackers:
             # Run-start-relative liveness windows open now, not at the
             # first executed event (which may come arbitrarily late).
@@ -143,6 +147,7 @@ class LivePropertyMonitor:
         served from the cache elsewhere.
         """
         found: list[PropertyViolation] = []
+        computed = cached = 0
         for prop in self._safety:
             if self._is_fast_path(prop):
                 assert isinstance(prop, NodeScopedProperty)
@@ -154,6 +159,9 @@ class LivePropertyMonitor:
                             for violation in prop.violations_at(state, addr)
                         )
                         self._local_cache[key] = details
+                        computed += 1
+                    else:
+                        cached += 1
                     for detail in self._local_cache[key]:
                         found.append(
                             PropertyViolation(
@@ -162,6 +170,10 @@ class LivePropertyMonitor:
                         )
             else:
                 found.extend(prop.violations(state))
+        metrics = self._obs.metrics
+        if metrics is not None and (computed or cached):
+            metrics.inc("monitor.node_checks_computed", computed)
+            metrics.inc("monitor.node_checks_cached", cached)
         return found
 
     def _open_episode(
@@ -188,9 +200,18 @@ class LivePropertyMonitor:
             PropertyViolation(property_name=property_name, node=node, detail=detail)
         )
         self.distinct_properties.add(property_name)
+        if self._obs.metrics is not None:
+            self._obs.metrics.inc("monitor.violation_episodes")
+        if self._obs.tracer is not None:
+            self._obs.tracer.violation(
+                now, node, property_name, record.severity, kind, detail,
+                digest=record.state_digest,
+            )
 
     def __call__(self, sim: Simulator, node: SimNode, event: Event) -> None:
         self.events_checked += 1
+        if self._obs.metrics is not None:
+            self._obs.metrics.inc("monitor.events_checked")
         live = sim.node_states()
         state = GlobalState.from_snapshot(
             {addr: s for addr, (s, _) in live.items()},
@@ -200,6 +221,8 @@ class LivePropertyMonitor:
         violations = self._safety_violations(state, dirty)
         if violations:
             self.inconsistent_states += 1
+            if self._obs.metrics is not None:
+                self._obs.metrics.inc("monitor.inconsistent_states")
 
         current: set[tuple[str, Optional[Address]]] = set()
         for violation in violations:

@@ -61,8 +61,10 @@ class Nemesis:
         detail = fault.inject(sim, rng)
         if detail is None:
             self.records.append(FaultRecord(sim.now, fault.name, "skip"))
+            self._observe(sim, fault.name, "skip", {})
         else:
             self.records.append(FaultRecord(sim.now, fault.name, "inject", detail))
+            self._observe(sim, fault.name, "inject", detail)
             if fault.duration is not None:
                 sim.schedule_callback(
                     sim.now + fault.duration,
@@ -76,6 +78,14 @@ class Nemesis:
         detail = fault.heal(sim)
         if detail is not None:
             self.records.append(FaultRecord(sim.now, fault.name, "heal", detail))
+            self._observe(sim, fault.name, "heal", detail)
+
+    def _observe(self, sim: Simulator, name: str, action: str,
+                 detail: dict) -> None:
+        if sim.obs.metrics is not None:
+            sim.obs.metrics.inc(f"faults.{action}")
+        if sim.obs.tracer is not None:
+            sim.obs.tracer.fault(sim.now, name, action, detail)
 
     def teardown(self, sim: Simulator) -> None:
         """Undo windows still open when the run ends.

@@ -39,6 +39,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import queue as queue_module
+import time
 import traceback
 from collections import defaultdict
 from typing import Callable, Optional, Sequence
@@ -65,15 +66,22 @@ class ParallelEngine:
         Maximum frontier items dispatched to one worker per round.  Smaller
         batches tighten budget enforcement (budgets are checked between
         rounds); larger batches amortise inter-process transfer.
+    metrics:
+        Optional ``repro.obs`` :class:`~repro.obs.metrics.MetricsRegistry`.
+        When set (the controller sets it for instrumented runs), every
+        search profiles its coordination overhead into ``parallel.*``
+        metrics: fork time, per-round barrier waits, cross-shard handoff
+        volume.  Mutable — assigning ``engine.metrics`` later also works.
     """
 
     def __init__(self, num_workers: Optional[int] = None,
-                 batch_size: int = 4000) -> None:
+                 batch_size: int = 4000, *, metrics=None) -> None:
         if num_workers is not None and num_workers < 1:
             raise ValueError("num_workers must be >= 1")
         self.num_workers = num_workers if num_workers is not None \
             else (os.cpu_count() or 1)
         self.batch_size = batch_size
+        self.metrics = metrics
 
     def __repr__(self) -> str:
         return f"ParallelEngine(num_workers={self.num_workers})"
@@ -100,7 +108,8 @@ class ParallelEngine:
                                       kind=kind, event_filter=event_filter)
         budget = budget or SearchBudget()
         return _coordinate(system, first_state, properties, budget, kind,
-                           event_filter, self.num_workers, self.batch_size)
+                           event_filter, self.num_workers, self.batch_size,
+                           self.metrics)
 
 
 # --------------------------------------------------------------------- coordinator
@@ -115,6 +124,7 @@ def _coordinate(
     event_filter: Optional[Callable],
     num_workers: int,
     batch_size: int,
+    metrics=None,
 ) -> SearchResult:
     ctx = multiprocessing.get_context("fork")
     task_queues = [ctx.SimpleQueue() for _ in range(num_workers)]
@@ -128,8 +138,13 @@ def _coordinate(
         )
         for wid in range(num_workers)
     ]
+    fork_started = time.perf_counter()
     for proc in workers:
         proc.start()
+    if metrics is not None:
+        metrics.inc("parallel.searches")
+        metrics.observe("parallel.fork_seconds",
+                        time.perf_counter() - fork_started)
 
     stats = SearchStats()
     violations: list[PredictedViolation] = []
@@ -170,16 +185,22 @@ def _coordinate(
             if budget.max_states is not None:
                 _trim(batches, budget.max_states - stats.states_visited)
             dispatched: list[int] = []
+            dispatched_items = 0
+            dispatched_bytes = 0
             for wid, batch in enumerate(batches):
                 if not batch:
                     continue
                 del current[wid][:len(batch)]
-                frontier_bytes -= sum(item[0].size_bytes() for item in batch)
+                batch_bytes = sum(item[0].size_bytes() for item in batch)
+                frontier_bytes -= batch_bytes
+                dispatched_items += len(batch)
+                dispatched_bytes += batch_bytes
                 local_delta = global_locals - locals_known[wid]
                 locals_known[wid] |= local_delta
                 task_queues[wid].put(("round", batch, sorted(local_delta)))
                 dispatched.append(wid)
 
+            barrier_started = time.perf_counter()
             round_violations: list[PredictedViolation] = []
             for reply in _collect(result_queue, workers, len(dispatched)):
                 (wid, outgoing, found, delta, new_locals, explored_len) = reply
@@ -192,6 +213,12 @@ def _coordinate(
                 for owner, items in outgoing.items():
                     next_level[owner].extend(items)
             stats.explored_hash_bytes = 8 * sum(explored_counts)
+            if metrics is not None:
+                metrics.inc("parallel.rounds")
+                metrics.inc("parallel.handoff_items", dispatched_items)
+                metrics.inc("parallel.handoff_bytes", dispatched_bytes)
+                metrics.observe("parallel.barrier_wait_seconds",
+                                time.perf_counter() - barrier_started)
 
             # The serial searches report the first (shallowest) state per
             # (property, node); sorting keeps the choice deterministic when

@@ -1,0 +1,141 @@
+"""Chrome trace-event export for schema-v1 JSONL traces.
+
+:func:`chrome_trace` converts a record list into the Chrome trace-event
+JSON format (the ``chrome://tracing`` / Perfetto "JSON array" flavour):
+
+* Each node becomes a named thread (``tid``) in one process (``pid`` 0);
+  records render as 1 µs slices on their node's track at their simulated
+  time (1 simulated second = 1 s on the viewer timeline).
+* ``send`` → ``deliver`` pairs additionally emit flow events bound by the
+  stable message id, so the viewer draws the causal arrow between nodes.
+* Nodeless records (faults, global violations) land on a ``(global)``
+  track.
+
+Wall-clock data (the ``wall`` field of ``mc_run``) is kept out of the
+timeline — it appears in the slice ``args`` instead — so the exported
+view stays in coherent simulated-time units.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Sequence, Union
+
+Record = dict[str, Any]
+
+#: Timeline scale: simulated seconds → trace-event microseconds.
+_US_PER_SECOND = 1_000_000
+
+#: tid for records that carry no node (faults, global violations).
+_GLOBAL_TID = 0
+
+
+def _node_tids(records: Sequence[Record]) -> dict[str, int]:
+    nodes = sorted(
+        {
+            str(record["node"])
+            for record in records
+            if record.get("node") is not None
+        }
+    )
+    return {node: tid for tid, node in enumerate(nodes, start=1)}
+
+
+def chrome_trace(records: Sequence[Record]) -> dict[str, Any]:
+    """Render records as a Chrome trace-event document (a JSON dict)."""
+    tids = _node_tids(records)
+    events: list[dict[str, Any]] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": _GLOBAL_TID,
+            "args": {"name": "(global)"},
+        }
+    ]
+    for node, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "args": {"name": f"node {node}"},
+            }
+        )
+
+    meta_args: dict[str, Any] = {}
+    for record in records:
+        kind = record.get("kind")
+        if kind == "meta":
+            meta_args = {k: v for k, v in record.items() if k != "kind"}
+            continue
+        ts = int(record.get("t", 0.0) * _US_PER_SECOND)
+        node = record.get("node")
+        tid = tids.get(str(node), _GLOBAL_TID) if node is not None else _GLOBAL_TID
+        args = {
+            key: value
+            for key, value in record.items()
+            if key not in ("kind", "t", "node")
+        }
+        name = kind
+        if kind == "event":
+            name = f"event:{record.get('outcome', '?')}"
+        elif kind in ("send", "deliver", "drop"):
+            name = f"{kind}:{record.get('mtype', '?')}"
+        elif kind == "fault":
+            name = f"fault:{record.get('action', '?')}:{record.get('fault', '?')}"
+        events.append(
+            {
+                "name": name,
+                "cat": kind,
+                "ph": "X",
+                "ts": ts,
+                "dur": 1,
+                "pid": 0,
+                "tid": tid,
+                "args": args,
+            }
+        )
+        if kind == "send":
+            events.append(
+                {
+                    "name": f"msg:{record.get('mtype', '?')}",
+                    "cat": "message",
+                    "ph": "s",
+                    "id": record.get("msg"),
+                    "ts": ts,
+                    "pid": 0,
+                    "tid": tid,
+                }
+            )
+        elif kind == "deliver":
+            events.append(
+                {
+                    "name": f"msg:{record.get('mtype', '?')}",
+                    "cat": "message",
+                    "ph": "f",
+                    "bp": "e",
+                    "id": record.get("msg"),
+                    "ts": ts,
+                    "pid": 0,
+                    "tid": tid,
+                }
+            )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": meta_args,
+    }
+
+
+def write_chrome_trace(
+    records: Sequence[Record], path: Union[str, Any]
+) -> int:
+    """Write the Chrome trace-event document to ``path``; returns #events."""
+    document = chrome_trace(records)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+        handle.write("\n")
+    return len(document["traceEvents"])

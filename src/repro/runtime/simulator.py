@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Mapping, Optional, Protocol as TypingProtocol
 
+from ..obs.context import ObsContext
 from .address import Address
 from .context import HandlerContext
 from .events import (
@@ -123,6 +124,26 @@ class TraceRecord:
     kind: str
 
 
+#: Event class -> the ``etype`` field of structured ``event`` records.
+_EVENT_TYPES = {
+    MessageEvent: "msg",
+    TimerEvent: "timer",
+    AppEvent: "app",
+    ResetEvent: "reset",
+    ConnectionErrorEvent: "connerr",
+}
+
+#: Event outcome -> the runtime counter it increments.
+_OUTCOME_COUNTERS = {
+    "executed": "runtime.events_executed",
+    "reset": "runtime.resets",
+    "filtered": "runtime.events_filtered",
+    "filtered+reset": "runtime.events_filtered",
+    "delayed": "runtime.events_delayed",
+    "blocked-by-isc": "runtime.events_blocked_by_isc",
+}
+
+
 class Simulator:
     """Discrete-event simulator hosting one protocol across many nodes."""
 
@@ -134,12 +155,15 @@ class Simulator:
         seed: int = 0,
         tick_interval: float = 10.0,
         trace: bool = False,
+        obs: Optional[ObsContext] = None,
     ) -> None:
         self.protocol_factory = protocol_factory
         self.network = network or NetworkModel()
         self.rng = random.Random(seed)
         self.tick_interval = tick_interval
         self.trace_enabled = trace
+        self.obs = obs if obs is not None else ObsContext()
+        self._next_eid = 0
 
         self.now: float = 0.0
         self.nodes: dict[Address, SimNode] = {}
@@ -247,7 +271,14 @@ class Simulator:
     def _dispatch_delivery(self, message: Message) -> None:
         node = self.nodes.get(message.dst)
         if node is None or not node.alive:
+            self._record_drop(message, "peer-down")
             return
+        tracer = self.obs.tracer
+        if tracer is not None:
+            tracer.deliver(self.now, message.dst, message.msg_id,
+                           message.mtype, message.src)
+        if self.obs.metrics is not None:
+            self.obs.metrics.inc("runtime.messages_delivered")
         if message.control:
             if node.hook is not None:
                 node.hook.handle_control_message(self, node, message)
@@ -357,7 +388,23 @@ class Simulator:
         else:
             node.stats.service_bytes_sent += size
 
+        tracer = self.obs.tracer
+        metrics = self.obs.metrics
+        if metrics is not None:
+            metrics.inc("runtime.messages_sent")
+            if stamped.control:
+                metrics.inc("runtime.control_bytes_sent", size)
+            else:
+                metrics.inc("runtime.service_bytes_sent", size)
+        if tracer is not None:
+            tracer.send(
+                self.now, stamped.src, stamped.msg_id, stamped.mtype,
+                stamped.dst, stamped.transport.value, stamped.control,
+                size,
+            )
+
         if not self.network.reachable(stamped.src, stamped.dst):
+            self._record_drop(stamped, "unreachable")
             if stamped.transport is Transport.TCP:
                 self._schedule_connection_error(node.addr, stamped.dst)
             return
@@ -368,6 +415,7 @@ class Simulator:
         if stamped.transport is Transport.UDP:
             loss = self.network.loss_probability(stamped.src, stamped.dst, self.rng)
             if self.rng.random() < loss:
+                self._record_drop(stamped, "loss")
                 return
             # Fault interceptors act on messages that survived the loss
             # draw, so `messages_affected` counts delivered traffic only.
@@ -379,12 +427,14 @@ class Simulator:
 
         # TCP semantics: verify / establish the connection first.
         if dest is None or not dest.alive:
+            self._record_drop(stamped, "peer-down")
             self._schedule_connection_error(node.addr, stamped.dst)
             node.connections.close(stamped.dst)
             return
         recorded = node.connections.recorded_incarnation(stamped.dst)
         if recorded is not None and recorded != dest.incarnation:
             # Stale connection: the peer reset since establishment.
+            self._record_drop(stamped, "stale-connection")
             node.connections.close(stamped.dst)
             self._schedule_connection_error(node.addr, stamped.dst)
             return
@@ -407,6 +457,13 @@ class Simulator:
         controller for checkpoint requests and responses)."""
         node = self.nodes[addr]
         self._transmit(node, message)
+
+    def _record_drop(self, message: Message, reason: str) -> None:
+        if self.obs.metrics is not None:
+            self.obs.metrics.inc("runtime.messages_dropped")
+        if self.obs.tracer is not None:
+            self.obs.tracer.drop(self.now, message.msg_id, message.mtype,
+                                 reason)
 
     def _schedule_connection_error(self, at: Address, peer: Address) -> None:
         latency = self.network.latency(peer, at, self.rng)
@@ -501,4 +558,22 @@ class Simulator:
             self.trace.append(
                 TraceRecord(time=self.now, node=node.addr,
                             description=event.describe(), kind=outcome)
+            )
+        metrics = self.obs.metrics
+        if metrics is not None:
+            counter = _OUTCOME_COUNTERS.get(outcome)
+            if counter is not None:
+                metrics.inc(counter)
+        tracer = self.obs.tracer
+        if tracer is not None:
+            eid = None
+            if outcome in ("executed", "reset"):
+                self._next_eid += 1
+                eid = self._next_eid
+            msg_id = (event.message.msg_id
+                      if isinstance(event, MessageEvent) else None)
+            tracer.event(
+                self.now, node.addr,
+                _EVENT_TYPES.get(type(event), "event"), outcome,
+                event.describe(), eid=eid, msg=msg_id,
             )

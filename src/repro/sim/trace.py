@@ -1,76 +1,50 @@
-"""Event-trace utilities.
+"""Deprecated shim: event-trace utilities moved to :mod:`repro.obs`.
 
-The live runtime can record every executed handler; these helpers filter and
-summarise such traces for the examples and for debugging the scenarios the
-paper walks through (Figures 2, 3, 9, 10, 11, 13).
+The summarize/filter/format helpers now live in
+``repro.obs.trace_tools`` next to the structured JSONL trace tooling;
+this module keeps the old import path working one release longer.  Each
+name warns on *use* (not on import) so merely importing legacy code does
+not trip ``-W error::DeprecationWarning`` runs.
 """
 
 from __future__ import annotations
 
-from collections import Counter
-from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+import warnings
+from typing import Any
 
-from ..runtime.address import Address
-from ..runtime.simulator import TraceRecord
+from ..obs import trace_tools as _tools
 
 
-@dataclass
-class TraceSummary:
-    """Aggregated view of a trace."""
-
-    total_events: int
-    by_kind: dict[str, int]
-    by_node: dict[str, int]
-    first_time: float
-    last_time: float
-
-    def duration(self) -> float:
-        return max(0.0, self.last_time - self.first_time)
-
-
-def summarize(trace: Sequence[TraceRecord]) -> TraceSummary:
-    """Aggregate a trace into per-kind and per-node counts."""
-    if not trace:
-        return TraceSummary(total_events=0, by_kind={}, by_node={},
-                            first_time=0.0, last_time=0.0)
-    by_kind = Counter(record.kind for record in trace)
-    by_node = Counter(str(record.node) for record in trace)
-    return TraceSummary(
-        total_events=len(trace),
-        by_kind=dict(by_kind),
-        by_node=dict(by_node),
-        first_time=trace[0].time,
-        last_time=trace[-1].time,
+def _warn(name: str) -> None:
+    warnings.warn(
+        f"repro.sim.trace.{name} has moved to repro.obs; "
+        f"import {name} from repro.obs instead",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
-def filter_trace(
-    trace: Iterable[TraceRecord],
-    *,
-    node: Optional[Address] = None,
-    kind: Optional[str] = None,
-    contains: Optional[str] = None,
-) -> list[TraceRecord]:
-    """Select trace records by node, outcome kind and/or description text."""
-    selected = []
-    for record in trace:
-        if node is not None and record.node != node:
-            continue
-        if kind is not None and record.kind != kind:
-            continue
-        if contains is not None and contains not in record.description:
-            continue
-        selected.append(record)
-    return selected
+class TraceSummary(_tools.TraceSummary):
+    """Deprecated alias of :class:`repro.obs.TraceSummary`."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        _warn("TraceSummary")
+        super().__init__(*args, **kwargs)
 
 
-def format_trace(trace: Sequence[TraceRecord], *, limit: int = 50) -> str:
-    """Render a trace as aligned text lines (used by the examples)."""
-    lines = []
-    for record in trace[:limit]:
-        lines.append(f"{record.time:10.3f}s  {str(record.node):>8}  "
-                     f"{record.kind:<16} {record.description}")
-    if len(trace) > limit:
-        lines.append(f"... ({len(trace) - limit} more events)")
-    return "\n".join(lines)
+def summarize(trace: Any) -> "_tools.TraceSummary":
+    """Deprecated alias of :func:`repro.obs.summarize`."""
+    _warn("summarize")
+    return _tools.summarize(trace)
+
+
+def filter_trace(trace: Any, **kwargs: Any) -> list:
+    """Deprecated alias of :func:`repro.obs.filter_trace`."""
+    _warn("filter_trace")
+    return _tools.filter_trace(trace, **kwargs)
+
+
+def format_trace(trace: Any, **kwargs: Any) -> str:
+    """Deprecated alias of :func:`repro.obs.format_trace`."""
+    _warn("format_trace")
+    return _tools.format_trace(trace, **kwargs)

@@ -44,3 +44,41 @@ def test_legacy_import_paths_still_work():
 
     assert workload.OverlayWorkload is OverlayWorkload
     assert workload.WorkloadResult is WorkloadResult
+
+
+class _FakeTraceRecord:
+    def __init__(self, time, node, kind, description):
+        self.time = time
+        self.node = node
+        self.kind = kind
+        self.description = description
+
+
+def test_sim_trace_helpers_warn_and_delegate_to_obs():
+    from repro.sim import trace as legacy
+
+    records = [_FakeTraceRecord(1.0, "1:5000", "executed", "deliver Ping"),
+               _FakeTraceRecord(2.0, "2:5000", "executed", "deliver Pong")]
+    with pytest.deprecated_call(match="moved to repro.obs"):
+        summary = legacy.summarize(records)
+    assert summary.total_events == 2
+    with pytest.deprecated_call(match="moved to repro.obs"):
+        only = legacy.filter_trace(records, node="1:5000")
+    assert len(only) == 1
+    with pytest.deprecated_call(match="moved to repro.obs"):
+        text = legacy.format_trace(records)
+    assert "deliver Ping" in text
+    with pytest.deprecated_call(match="moved to repro.obs"):
+        legacy.TraceSummary(total_events=0, by_kind={}, by_node={},
+                            first_time=0.0, last_time=0.0)
+
+
+def test_sim_trace_summary_instances_are_the_obs_type():
+    from repro.obs import TraceSummary as new_summary
+    from repro.sim import trace as legacy
+
+    with pytest.deprecated_call():
+        instance = legacy.TraceSummary(total_events=0, by_kind={},
+                                       by_node={}, first_time=0.0,
+                                       last_time=0.0)
+    assert isinstance(instance, new_summary)

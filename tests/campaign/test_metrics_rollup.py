@@ -1,0 +1,62 @@
+"""Obs metrics flow into campaign summaries and the deterministic aggregate."""
+
+from repro.campaign import CampaignSpec, build_campaign_report, make_record
+from repro.campaign.runner import run_one, summarize_report
+
+
+def _record(run, metrics, **summary_overrides):
+    summary = {"node_count": 3, "simulated_seconds": 20.0, "churn_events": 0,
+               "faults_injected": 0, "fault_types": [],
+               "violations_predicted": 0, "violations_avoided": 0,
+               "live_inconsistent_states": 0, "violations_observed": 0,
+               "metrics": metrics}
+    summary.update(summary_overrides)
+    return make_record(run.to_dict(), status="ok", wall_clock_seconds=1.0,
+                       summary=summary)
+
+
+def test_aggregate_sums_metric_counters_across_runs():
+    spec = CampaignSpec(systems=["randtree"], seeds=[1, 2])
+    runs = spec.expand()
+    records = [
+        _record(runs[0], {"runtime.events_executed": 10, "mc.runs": 2}),
+        _record(runs[1], {"runtime.events_executed": 7}),
+    ]
+    report = build_campaign_report(spec, runs, records, jobs=1)
+    assert report.metrics == {"runtime.events_executed": 17, "mc.runs": 2}
+    assert report.deterministic_dict()["metrics"] == report.metrics
+
+
+def test_failed_runs_and_missing_metrics_do_not_contribute():
+    spec = CampaignSpec(systems=["randtree"], seeds=[1, 2])
+    runs = spec.expand()
+    records = [
+        _record(runs[0], {"runtime.events_executed": 5}),
+        make_record(runs[1].to_dict(), status="error",
+                    wall_clock_seconds=0.5, error="boom"),
+    ]
+    report = build_campaign_report(spec, runs, records, jobs=1)
+    assert report.metrics == {"runtime.events_executed": 5}
+
+
+def test_summarize_report_exposes_only_deterministic_counters():
+    spec = CampaignSpec(systems=["randtree"], seeds=[1], duration=30.0,
+                        nodes=4, modes=["debug"])
+    report = run_one(spec.expand()[0])
+    summary = summarize_report(report)
+    metrics = summary["metrics"]
+    assert metrics["runtime.events_executed"] > 0
+    assert metrics["controller.ticks"] > 0
+    # parallel.* counters never enter the rollup, and histograms/gauges
+    # (wall-clock carriers) are not part of the summary at all.
+    assert not any(name.startswith("parallel.") for name in metrics)
+    assert all(isinstance(value, int) for value in metrics.values())
+
+
+def test_live_campaign_cells_are_seed_deterministic_with_metrics():
+    spec = CampaignSpec(systems=["randtree"], seeds=[5], duration=30.0,
+                        nodes=4)
+    run = spec.expand()[0]
+    first = summarize_report(run_one(run))
+    second = summarize_report(run_one(run))
+    assert first == second

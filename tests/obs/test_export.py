@@ -1,0 +1,58 @@
+"""Chrome trace-event export: timeline shape, flow arrows, metadata."""
+
+import json
+
+from repro.obs import chrome_trace, write_chrome_trace
+
+from tests.obs.test_trace_tools import STEERING_TRACE, meta
+
+
+def test_chrome_trace_top_level_shape():
+    out = chrome_trace(STEERING_TRACE)
+    assert set(out) == {"traceEvents", "displayTimeUnit", "otherData"}
+    assert out["displayTimeUnit"] == "ms"
+    assert out["otherData"]["system"] == "randtree"
+    json.dumps(out)
+
+
+def test_nodes_become_named_threads():
+    out = chrome_trace(STEERING_TRACE)
+    names = [e for e in out["traceEvents"] if e["ph"] == "M"]
+    labels = {e["args"]["name"] for e in names}
+    assert "(global)" in labels
+    assert "node 1:5000" in labels
+    # Every timeline event lands on a declared thread.
+    tids = {e["tid"] for e in names}
+    assert all(e["tid"] in tids for e in out["traceEvents"])
+
+
+def test_records_become_complete_events_in_microseconds():
+    out = chrome_trace(STEERING_TRACE)
+    mc = next(e for e in out["traceEvents"]
+              if e["ph"] == "X" and e["name"].startswith("mc_run"))
+    assert mc["ts"] == 10_000_000
+    assert mc["args"]["states"] == 50
+    assert "kind" not in mc["args"]
+
+
+def test_send_deliver_pairs_emit_flow_arrows():
+    trace = [
+        meta(),
+        {"kind": "send", "t": 1.0, "node": "1:5000", "msg": 42,
+         "mtype": "ping", "dst": "2:5000", "transport": "udp",
+         "control": False, "bytes": 64},
+        {"kind": "deliver", "t": 1.5, "node": "2:5000", "msg": 42,
+         "mtype": "ping", "src": "1:5000"},
+    ]
+    out = chrome_trace(trace)
+    flows = [e for e in out["traceEvents"] if e["ph"] in ("s", "f")]
+    assert [e["ph"] for e in flows] == ["s", "f"]
+    assert flows[0]["id"] == flows[1]["id"] == 42
+    assert all(e["cat"] == "message" for e in flows)
+
+
+def test_write_chrome_trace_returns_event_count(tmp_path):
+    path = tmp_path / "chrome.json"
+    written = write_chrome_trace(STEERING_TRACE, path)
+    payload = json.loads(path.read_text())
+    assert written == len(payload["traceEvents"]) > 0

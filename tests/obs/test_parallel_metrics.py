@@ -1,0 +1,18 @@
+"""The sharded parallel engine reports fork/handoff/barrier metrics."""
+
+from repro.api import Experiment
+
+
+def test_parallel_engine_profiles_itself_into_the_registry():
+    report = (Experiment("randtree").nodes(4).ticks(2).seed(1)
+              .mode("debug").crystalball(engine="parallel:2")
+              .metrics(True).run())
+    counters = report.metrics["counters"]
+    histograms = report.metrics["histograms"]
+    assert counters["parallel.searches"] >= 1
+    assert counters["parallel.rounds"] >= 1
+    assert histograms["parallel.fork_seconds"]["count"] >= 1
+    assert histograms["parallel.barrier_wait_seconds"]["count"] >= 1
+    # Handoff counters exist (may be zero when no state crosses shards).
+    assert "parallel.handoff_items" in counters
+    assert "parallel.handoff_bytes" in counters

@@ -1,0 +1,53 @@
+"""Traces are stable across interpreter hash seeds.
+
+Digests and record field orders must not leak ``PYTHONHASHSEED``: two
+subprocesses with different hash seeds must produce byte-identical traces
+once the ``wall`` fields (real time) are stripped.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.obs import strip_wall_fields
+
+_SCRIPT = """
+import json, sys
+from repro.api import Experiment
+from repro.obs.trace_tools import read_trace, strip_wall_fields
+
+path = sys.argv[1]
+(Experiment("randtree").nodes(4).duration(40.0).seed(3)
+ .mode("debug").trace(path).run())
+records = strip_wall_fields(read_trace(path))
+json.dump(records, sys.stdout, sort_keys=True)
+"""
+
+
+def _run_with_hash_seed(hash_seed, tmp_path):
+    env = dict(os.environ, PYTHONHASHSEED=str(hash_seed))
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.abspath("src"), env.get("PYTHONPATH", "")])
+    )
+    out = tmp_path / f"seed{hash_seed}.jsonl"
+    result = subprocess.run(
+        [sys.executable, "-c", _SCRIPT, str(out)],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    return json.loads(result.stdout)
+
+
+def test_trace_identical_across_hash_seeds(tmp_path):
+    first = _run_with_hash_seed(0, tmp_path)
+    second = _run_with_hash_seed(42, tmp_path)
+    assert first == second
+    assert first[0]["kind"] == "meta"
+    assert any(record["kind"] == "mc_run" for record in first)
+
+
+def test_strip_wall_fields_is_what_the_comparison_relies_on():
+    records = [{"kind": "mc_run", "t": 1.0, "wall": 0.5, "states": 3}]
+    assert strip_wall_fields(records) == [
+        {"kind": "mc_run", "t": 1.0, "states": 3}
+    ]

@@ -2,8 +2,9 @@
 
 import random
 
+from repro.obs import filter_trace, format_trace, summarize
 from repro.runtime import Address, NetworkModel, Simulator, make_addresses
-from repro.sim import InetTopology, TopologyConfig, filter_trace, format_trace, summarize
+from repro.sim import InetTopology, TopologyConfig
 from tests.runtime.test_simulator import EchoProtocol
 
 
