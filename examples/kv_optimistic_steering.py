@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Steering the optimistic KV store away from stale reads.
+
+The flagship demo for the ``kvstore`` system: the optimistic-execution
+mode acks writes before the write quorum confirms them, so under healed
+partitions a client's read-one can return a version below its own
+committed write (a read-your-writes violation).  Consequence prediction
+sees the violation coming in the neighbourhood snapshot — the
+under-replicated pending write plus the armed client timer — and
+execution steering delays the risky read until the reconciler has
+repaired the replica, trading a few completed operations for zero
+observed staleness.
+
+Both runs use the registered ``optimistic-staleness`` scenario (recurring
+healed partitions over five replicas) with the same seed; the only
+difference is the CrystalBall mode.  The same runs are available as::
+
+    python -m repro run kvstore --scenario optimistic-staleness \
+        --mode steering --seed 0 --duration 150
+
+Run with::
+
+    python examples/kv_optimistic_steering.py
+
+The steering run model-checks every neighbourhood snapshot, so expect a
+couple of minutes of wall-clock time.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.api import Experiment
+from repro.core import Mode
+
+#: Demo seed: in OFF mode it yields several read-your-writes violations
+#: inside the post-heal reconciliation window.
+SEED = 0
+DURATION = 150.0
+
+
+def run(mode: Mode):
+    return (Experiment("kvstore")
+            .scenario("optimistic-staleness")
+            .mode(mode)
+            .seed(SEED)
+            .duration(DURATION)
+            .run())
+
+
+def main() -> int:
+    print("Optimistic KV store under healed partitions "
+          f"(seed {SEED}, {DURATION:.0f} s).")
+    print()
+
+    print("baseline (CrystalBall off) ...")
+    off = run(Mode.OFF)
+    print("execution steering (this model-checks every snapshot; "
+          "takes a couple of minutes) ...")
+    steering = run(Mode.STEERING)
+
+    rows = []
+    for label, report in [("off", off), ("steering", steering)]:
+        outcome = report.outcome
+        rows.append([
+            label,
+            outcome["stale_reads"]["read_your_writes"],
+            outcome["stale_reads"]["monotonic_reads"],
+            outcome["reads_done"],
+            report.total_predicted(),
+            report.total("filters_installed"),
+            report.total_isc_blocks(),
+        ])
+    print()
+    print(format_table(
+        ["CrystalBall", "stale (RYW)", "stale (MR)", "reads done",
+         "predicted", "filters", "ISC blocks"],
+        rows,
+        title="Observed staleness with and without execution steering",
+    ))
+
+    off_stale = off.outcome["stale_total"]
+    steered_stale = steering.outcome["stale_total"]
+    predicted = steering.total_predicted()
+    print()
+    print(f"Steering predicted {predicted} violations ahead of execution "
+          f"and cut observed stale reads from {off_stale} to "
+          f"{steered_stale}.")
+    ok = off_stale > 0 and steered_stale == 0 and predicted > 0
+    if not ok:
+        print("unexpected: the demo seed no longer shows the "
+              "predicted-and-avoided pattern")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -23,8 +23,11 @@ Package layout
     consistent neighbourhood snapshots, controller, execution steering,
     immediate safety check.
 ``repro.systems``
-    The evaluated services: RandTree, Chord, Bullet' and Paxos, re-implemented
-    with the paper's inconsistencies (and the suggested fixes behind flags).
+    The services under test: RandTree, Chord, Bullet' and Paxos,
+    re-implemented with the paper's inconsistencies (and the suggested
+    fixes behind flags), plus two replicated-data families — op-based
+    CRDT replicas and a quorum-replicated KV store with optimistic
+    execution — whose buggy variants sit behind options.
 ``repro.sim``
     INET-like topology generation, workloads and traces.
 ``repro.analysis``
@@ -57,7 +60,7 @@ from . import (
     systems,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = ["analysis", "api", "campaign", "core", "faults", "mc", "obs",
            "properties", "runtime", "sim", "systems", "__version__"]

@@ -117,6 +117,8 @@ _BUILTIN_SPEC_MODULES = (
     "repro.systems.chord.spec",
     "repro.systems.paxos.spec",
     "repro.systems.bulletprime.spec",
+    "repro.systems.crdtset.spec",
+    "repro.systems.kvstore.spec",
 )
 _builtins_loaded = False
 

@@ -22,7 +22,7 @@ from collections import deque
 from typing import Callable, Optional, Sequence
 
 from ..mc.global_state import GlobalState
-from ..mc.properties import SafetyProperty, check_all
+from ..properties import SafetyProperty, check_all
 from ..mc.search import PredictedViolation, SearchBudget, SearchResult, SearchStats
 from ..mc.transition import TransitionSystem
 from ..runtime.events import Event

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..mc.global_state import GlobalState
-from ..mc.properties import SafetyProperty, check_all
+from ..properties import SafetyProperty, check_all
 from ..mc.search import PredictedViolation, SearchBudget
 from ..mc.transition import TransitionSystem
 from ..runtime.address import Address

@@ -7,7 +7,12 @@ lives in :mod:`repro.core` and is built on the same primitives.
 """
 
 from .global_state import ErrorNotification, GlobalState, NodeLocal
-from .properties import PropertyViolation, SafetyProperty, check_all, node_property
+from ..properties.base import (
+    PropertyViolation,
+    SafetyProperty,
+    check_all,
+    node_property,
+)
 from .search import PredictedViolation, SearchBudget, SearchResult, SearchStats
 from .transition import TransitionConfig, TransitionSystem
 from .exhaustive import find_errors

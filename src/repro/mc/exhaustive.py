@@ -14,7 +14,7 @@ from collections import deque
 from typing import Optional, Sequence
 
 from .global_state import GlobalState
-from .properties import SafetyProperty, check_all
+from ..properties import SafetyProperty, check_all
 from .search import PredictedViolation, SearchBudget, SearchResult, SearchStats
 from .transition import TransitionSystem
 

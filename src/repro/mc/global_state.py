@@ -33,16 +33,38 @@ class ErrorNotification:
 
 @dataclass(frozen=True)
 class NodeLocal:
-    """Local state of one node as seen by the model checker."""
+    """Local state of one node as seen by the model checker.
+
+    The wrapped state is never mutated once the wrapper exists (handlers
+    run on clones and produce a fresh ``NodeLocal``), so the signature is
+    computed once and cached: successor states share the wrappers of all
+    unchanged nodes and hashing them again costs a tuple lookup instead of
+    a full re-freeze of their state.
+    """
 
     state: NodeState
     timers: frozenset[str] = frozenset()
+    _sig_cache: Optional[tuple] = field(
+        default=None, repr=False, compare=False, init=False)
+    _size_cache: Optional[int] = field(
+        default=None, repr=False, compare=False, init=False)
 
     def signature(self) -> tuple:
-        return (self.state.signature(), tuple(sorted(self.timers)))
+        if self._sig_cache is None:
+            object.__setattr__(
+                self, "_sig_cache",
+                (self.state.signature(), tuple(sorted(self.timers))))
+        return self._sig_cache
 
     def local_hash(self) -> int:
         return hash(self.signature())
+
+    def size_bytes(self) -> int:
+        if self._size_cache is None:
+            object.__setattr__(
+                self, "_size_cache",
+                self.state.size_bytes() + 16 * len(self.timers))
+        return self._size_cache
 
 
 @dataclass
@@ -56,6 +78,8 @@ class GlobalState:
     #: lazily computed size estimate (the state is treated as immutable once
     #: it has entered a search frontier).
     _size_cache: Optional[int] = field(default=None, repr=False, compare=False, init=False)
+    #: lazily computed signature, under the same immutability convention.
+    _sig_cache: Optional[tuple] = field(default=None, repr=False, compare=False, init=False)
 
     # -- construction -----------------------------------------------------------
 
@@ -110,13 +134,18 @@ class GlobalState:
     # -- identity --------------------------------------------------------------------
 
     def signature(self) -> tuple:
-        node_part = tuple(
-            (freeze(addr), self.nodes[addr].signature())
-            for addr in sorted(self.nodes)
-        )
-        inflight_part = tuple(sorted((m.signature() for m in self.inflight), key=repr))
-        error_part = tuple(sorted((e.signature() for e in self.errors), key=repr))
-        return (node_part, inflight_part, error_part, self.resets)
+        if self._sig_cache is None:
+            node_part = tuple(
+                (freeze(addr), self.nodes[addr].signature())
+                for addr in sorted(self.nodes)
+            )
+            inflight_part = tuple(
+                sorted((m.signature() for m in self.inflight), key=repr))
+            error_part = tuple(
+                sorted((e.signature() for e in self.errors), key=repr))
+            self._sig_cache = (node_part, inflight_part, error_part,
+                               self.resets)
+        return self._sig_cache
 
     def state_hash(self) -> int:
         return hash(self.signature())
@@ -126,8 +155,7 @@ class GlobalState:
     def size_bytes(self) -> int:
         """Approximate in-memory size of this state (Figures 15/16)."""
         if self._size_cache is None:
-            total = sum(nl.state.size_bytes() + 16 * len(nl.timers)
-                        for nl in self.nodes.values())
+            total = sum(nl.size_bytes() for nl in self.nodes.values())
             total += sum(m.size_bytes() for m in self.inflight)
             total += 24 * len(self.errors)
             self._size_cache = total

@@ -1,23 +1,73 @@
-"""Safety-property framework — compatibility shim.
+"""Deprecated shim: the property framework moved to :mod:`repro.properties`.
 
-The property layer moved to :mod:`repro.properties`, which adds the global
-registry, severities/tags, cross-node and bounded-liveness combinators and
-structured violation records.  This module keeps the historical import
-surface (``repro.mc.properties`` / ``repro.mc``) working unchanged: the
-names below are the same objects the new package exports, so properties
-built through either path are interchangeable.
+The property layer now lives in ``repro.properties``, which adds the
+global registry, severities/tags, cross-node and bounded-liveness
+combinators and structured violation records.  This module keeps the
+historical ``repro.mc.properties`` import surface working one release
+longer.  Each name warns on *use* (not on import) so merely importing
+legacy code does not trip ``-W error::DeprecationWarning`` runs; the
+wrapped objects are the same classes the new package exports, so
+properties built through either path stay interchangeable.
 """
 
 from __future__ import annotations
 
-from ..properties.base import (
-    NodeScopedProperty,
-    PropertyViolation,
-    SafetyProperty,
-    check_all,
-    node_property,
-    safety_properties,
-)
+import warnings
+from typing import Any
+
+from ..properties import base as _base
+
+
+def _warn(name: str) -> None:
+    warnings.warn(
+        f"repro.mc.properties.{name} has moved to repro.properties; "
+        f"import {name} from repro.properties instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class SafetyProperty(_base.SafetyProperty):
+    """Deprecated alias of :class:`repro.properties.SafetyProperty`."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        _warn("SafetyProperty")
+        super().__init__(*args, **kwargs)
+
+
+class NodeScopedProperty(_base.NodeScopedProperty):
+    """Deprecated alias of :class:`repro.properties.NodeScopedProperty`."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        _warn("NodeScopedProperty")
+        super().__init__(*args, **kwargs)
+
+
+class PropertyViolation(_base.PropertyViolation):
+    """Deprecated alias of :class:`repro.properties.PropertyViolation`."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        _warn("PropertyViolation")
+        super().__init__(*args, **kwargs)
+
+
+def node_property(*args: Any, **kwargs: Any) -> "_base.NodeScopedProperty":
+    """Deprecated alias of :func:`repro.properties.node_property`."""
+    _warn("node_property")
+    return _base.node_property(*args, **kwargs)
+
+
+def check_all(*args: Any, **kwargs: Any) -> list:
+    """Deprecated alias of :func:`repro.properties.check_all`."""
+    _warn("check_all")
+    return _base.check_all(*args, **kwargs)
+
+
+def safety_properties(*args: Any, **kwargs: Any) -> list:
+    """Deprecated alias of :func:`repro.properties.safety_properties`."""
+    _warn("safety_properties")
+    return _base.safety_properties(*args, **kwargs)
+
 
 __all__ = [
     "NodeScopedProperty",

@@ -13,7 +13,7 @@ import random
 from typing import Optional, Sequence
 
 from .global_state import GlobalState
-from .properties import SafetyProperty, check_all
+from ..properties import SafetyProperty, check_all
 from .search import PredictedViolation, SearchBudget, SearchResult, SearchStats
 from .transition import TransitionSystem
 

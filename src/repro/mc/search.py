@@ -15,7 +15,7 @@ from typing import Optional
 
 from ..runtime.events import Event
 from .global_state import GlobalState
-from .properties import PropertyViolation
+from ..properties import PropertyViolation
 
 
 @dataclass

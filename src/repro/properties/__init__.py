@@ -5,8 +5,9 @@ checks.  It provides:
 
 * the property classes (:class:`SafetyProperty`, :class:`LivenessProperty`)
   with namespaced ids, severities and tags;
-* combinators: :func:`node_property`, :func:`pairwise_property`, and the
-  bounded-liveness operators :func:`eventually` and :func:`leads_to`;
+* combinators: :func:`node_property`, :func:`pairwise_property`, the
+  bounded-liveness operators :func:`eventually` and :func:`leads_to`, and
+  the :func:`typed_check` / :func:`typed_states` state-type guards;
 * the global :mod:`registry <repro.properties.registry>` the systems'
   properties self-register into, with glob-pattern selection;
 * :class:`ViolationRecord`, the structured violation-episode record the
@@ -27,6 +28,8 @@ from .base import (
     node_property,
     pairwise_property,
     safety_properties,
+    typed_check,
+    typed_states,
 )
 from .liveness import LivenessProperty, LivenessTracker, eventually, leads_to
 from .registry import (
@@ -51,6 +54,8 @@ __all__ = [
     "node_property",
     "pairwise_property",
     "safety_properties",
+    "typed_check",
+    "typed_states",
     "LivenessProperty",
     "LivenessTracker",
     "eventually",

@@ -31,8 +31,9 @@ Combinators build safety properties from simpler check functions:
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
-from typing import Callable, Iterable, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from ..mc.global_state import GlobalState, NodeLocal
 from ..runtime.address import Address
@@ -266,6 +267,58 @@ def pairwise_property(
                     yield addr_a, detail
 
     return SafetyProperty(name, check, description, severity=severity, tags=tags)
+
+
+def typed_check(state_type: type) -> Callable:
+    """Guard a per-node property check behind a state-type test.
+
+    Mixed deployments (and mid-churn snapshots) can hand a system's
+    property a node running a different protocol; every per-node check
+    therefore starts with the same ``isinstance`` guard.  Decorating the
+    check function with ``@typed_check(MyState)`` hoists that guard: the
+    check yields nothing for nodes whose state is not an instance of
+    ``state_type`` and otherwise runs unchanged.
+
+        @typed_check(RandTreeState)
+        def _no_self_reference(addr, state, timers, gs):
+            if addr in state.children:
+                yield "node lists itself as a child"
+    """
+
+    def decorate(
+        check_fn: Callable[
+            [Address, NodeState, frozenset[str], GlobalState], Iterable[str]
+        ],
+    ) -> Callable[[Address, NodeState, frozenset[str], GlobalState], Iterable[str]]:
+        @functools.wraps(check_fn)
+        def checked(
+            addr: Address,
+            state: NodeState,
+            timers: frozenset[str],
+            gs: GlobalState,
+        ) -> Iterable[str]:
+            if not isinstance(state, state_type):
+                return ()
+            return check_fn(addr, state, timers, gs)
+
+        return checked
+
+    return decorate
+
+
+def typed_states(
+    state: GlobalState, state_type: type
+) -> Iterator[tuple[Address, NodeState]]:
+    """Iterate ``(addr, node_state)`` pairs whose state is ``state_type``.
+
+    The whole-global-state analogue of :func:`typed_check`: global checks
+    and liveness predicates that scan every node use this instead of
+    repeating the ``isinstance`` filter inline.  Iteration follows
+    ``state.nodes`` order (insertion order, which is deterministic).
+    """
+    for addr, local in state.nodes.items():
+        if isinstance(local.state, state_type):
+            yield addr, local.state
 
 
 def safety_properties(properties: Sequence[Property]) -> list[SafetyProperty]:

@@ -42,6 +42,23 @@ class Address:
             return NotImplemented
         return (self.host, self.port) < (other.host, other.port)
 
+    # Addresses are immutable and appear in every peers tuple, routing
+    # table and payload the model checker copies: copying returns the
+    # instance itself so speculative execution never traverses them.
+    def __copy__(self) -> "Address":
+        return self
+
+    def __deepcopy__(self, memo: dict) -> "Address":
+        return self
+
+    def frozen(self) -> tuple:
+        """Cached canonical frozen form (see ``serialization.freeze``)."""
+        cached = self.__dict__.get("_frozen")
+        if cached is None:
+            cached = ("Address", ("host", self.host), ("port", self.port))
+            object.__setattr__(self, "_frozen", cached)
+        return cached
+
     def __str__(self) -> str:
         return f"{self.host}:{self.port}"
 

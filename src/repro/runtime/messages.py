@@ -68,24 +68,35 @@ class Message:
     checkpoint_number: int = 0
     control: bool = False
     msg_id: int = field(default_factory=lambda: next(_msg_counter), compare=False)
+    _sig_cache: Any = field(default=None, repr=False, compare=False, init=False)
 
     def signature(self) -> tuple:
-        """Canonical hashable identity used by the model checker."""
-        return (
-            self.mtype,
-            freeze(self.src),
-            freeze(self.dst),
-            freeze(dict(self.payload)),
-            self.transport.value,
-        )
+        """Canonical hashable identity used by the model checker.
+
+        Cached: payloads are never mutated after construction, and one
+        in-flight message is shared by every search state that carries it.
+        """
+        if self._sig_cache is None:
+            object.__setattr__(self, "_sig_cache", (
+                self.mtype,
+                freeze(self.src),
+                freeze(self.dst),
+                freeze(dict(self.payload)),
+                self.transport.value,
+            ))
+        return self._sig_cache
 
     def with_checkpoint_number(self, cn: int) -> "Message":
         """Copy of this message stamped with checkpoint number ``cn``."""
         return replace(self, checkpoint_number=cn)
 
     def size_bytes(self) -> int:
-        """Approximate wire size, for bandwidth accounting."""
-        return 28 + estimate_size(dict(self.payload))
+        """Approximate wire size, for bandwidth accounting (cached)."""
+        cached = self.__dict__.get("_size")
+        if cached is None:
+            cached = 28 + estimate_size(dict(self.payload))
+            object.__setattr__(self, "_size", cached)
+        return cached
 
     def get(self, key: str, default: Any = None) -> Any:
         """Convenience accessor into the payload."""

@@ -36,6 +36,12 @@ def freeze(value: Any) -> Frozen:
     if isinstance(value, (list, tuple)):
         return tuple(freeze(v) for v in value)
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        # Immutable dataclasses (e.g. Address) expose a cached frozen
+        # form; computing it once matters because the model checker
+        # freezes the same value objects for every state hash.
+        frozen_form = getattr(value, "frozen", None)
+        if frozen_form is not None:
+            return frozen_form()
         fields = tuple(
             (f.name, freeze(getattr(value, f.name)))
             for f in dataclasses.fields(value)

@@ -25,7 +25,7 @@ from ..core.controller import (
     Mode,
 )
 from ..core.monitor import LivePropertyMonitor
-from ..mc.properties import SafetyProperty
+from ..properties import SafetyProperty
 from ..runtime.address import Address, make_addresses
 from ..runtime.network import NetworkModel
 from ..runtime.protocol import Protocol

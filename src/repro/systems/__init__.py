@@ -1,10 +1,15 @@
-"""The distributed services evaluated in the paper.
+"""The distributed services CrystalBall is pointed at.
 
-Each subpackage contains a from-scratch implementation of one service with
-the inconsistencies the paper reports (behind ``fix_*`` flags), its safety
-properties, and scripted scenarios corresponding to the paper's figures.
+The first four subpackages are from-scratch implementations of the paper's
+own evaluation services, each with the inconsistencies the paper reports
+(behind ``fix_*`` flags) and scripted scenarios corresponding to the
+paper's figures.  ``crdtset`` and ``kvstore`` extend the catalogue beyond
+the paper: replicated-data systems (an op-based CRDT group and a
+quorum-replicated KV store with optimistic execution) whose convergence
+and session-guarantee properties exercise the same prediction/steering
+pipeline.
 """
 
-from . import bulletprime, chord, paxos, randtree
+from . import bulletprime, chord, crdtset, kvstore, paxos, randtree
 
-__all__ = ["bulletprime", "chord", "paxos", "randtree"]
+__all__ = ["bulletprime", "chord", "crdtset", "kvstore", "paxos", "randtree"]

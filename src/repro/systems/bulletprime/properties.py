@@ -10,7 +10,12 @@ from __future__ import annotations
 from typing import Iterable, Optional
 
 from ...mc.global_state import GlobalState
-from ...properties import SafetyProperty, eventually, register_properties
+from ...properties import (
+    SafetyProperty,
+    eventually,
+    register_properties,
+    typed_states,
+)
 from ...runtime.address import Address
 from .protocol import DIFF
 from .state import BulletState
@@ -31,15 +36,12 @@ def _file_map_consistency(state: GlobalState) -> Iterable[tuple[Optional[Address
             key = (message.src, message.dst)
             inflight_blocks.setdefault(key, set()).update(message.get("blocks", ()))
 
-    for sender_addr, sender_local in state.nodes.items():
-        sender = sender_local.state
-        if not isinstance(sender, BulletState):
-            continue
+    receivers = dict(typed_states(state, BulletState))
+    for sender_addr, sender in typed_states(state, BulletState):
         for receiver_addr in sender.peers:
-            receiver_local = state.nodes.get(receiver_addr)
-            if receiver_local is None or not isinstance(receiver_local.state, BulletState):
+            receiver = receivers.get(receiver_addr)
+            if receiver is None:
                 continue
-            receiver = receiver_local.state
             announced = sender.told(receiver_addr)
             known = receiver.view.get(sender_addr, set())
             pending = inflight_blocks.get((sender_addr, receiver_addr), set())
@@ -53,15 +55,13 @@ def _file_map_consistency(state: GlobalState) -> Iterable[tuple[Optional[Address
 
 def _view_is_subset_of_have(state: GlobalState) -> Iterable[tuple[Optional[Address], str]]:
     """A receiver never believes a sender has blocks the sender lacks."""
-    for receiver_addr, receiver_local in state.nodes.items():
-        receiver = receiver_local.state
-        if not isinstance(receiver, BulletState):
-            continue
+    senders = dict(typed_states(state, BulletState))
+    for receiver_addr, receiver in typed_states(state, BulletState):
         for sender_addr, view in receiver.view.items():
-            sender_local = state.nodes.get(sender_addr)
-            if sender_local is None or not isinstance(sender_local.state, BulletState):
+            sender = senders.get(sender_addr)
+            if sender is None:
                 continue
-            phantom = view - sender_local.state.have
+            phantom = view - sender.have
             if phantom:
                 yield receiver_addr, (
                     f"receiver believes sender {sender_addr} has blocks "
@@ -81,9 +81,7 @@ VIEW_SUBSET_OF_HAVE = SafetyProperty(
 
 
 def _all_downloads_complete(gs: GlobalState) -> bool:
-    states = [nl.state for nl in gs.nodes.values()
-              if isinstance(nl.state, BulletState)]
-    receivers = [s for s in states if not s.is_source]
+    receivers = [s for _, s in typed_states(gs, BulletState) if not s.is_source]
     return bool(receivers) and all(s.completed_at is not None for s in receivers)
 
 

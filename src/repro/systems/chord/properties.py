@@ -14,16 +14,17 @@ from ...properties import (
     leads_to,
     node_property,
     register_properties,
+    typed_check,
+    typed_states,
 )
 from ...runtime.address import Address
 from .state import ChordState, in_interval
 
 
+@typed_check(ChordState)
 def _pred_self_implies_succ_self(addr: Address, state: ChordState,
                                  timers: frozenset[str],
                                  gs: GlobalState) -> Iterable[str]:
-    if not isinstance(state, ChordState):
-        return
     if state.predecessor == addr:
         others = [s for s in state.successors if s != addr]
         if others:
@@ -31,11 +32,10 @@ def _pred_self_implies_succ_self(addr: Address, state: ChordState,
                    f"contains {sorted(str(a) for a in others)}")
 
 
+@typed_check(ChordState)
 def _ordering_constraint(addr: Address, state: ChordState,
                          timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
-    if not isinstance(state, ChordState) or state.predecessor is None:
-        return
-    if state.predecessor == addr:
+    if state.predecessor is None or state.predecessor == addr:
         return
     pred_id = state.id_of(state.predecessor)
     if pred_id is None:
@@ -52,9 +52,10 @@ def _ordering_constraint(addr: Address, state: ChordState,
                    f"node's own id {state.node_id}")
 
 
+@typed_check(ChordState)
 def _no_self_successor_only(addr: Address, state: ChordState,
                             timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
-    if not isinstance(state, ChordState) or not state.joined:
+    if not state.joined:
         return
     if state.successors and all(s == addr for s in state.successors) \
             and state.predecessor is not None and state.predecessor != addr:
@@ -82,14 +83,12 @@ SUCC_SELF_IMPLIES_PRED_SELF = node_property(
 
 
 def _some_joined_node_without_predecessor(gs: GlobalState) -> bool:
-    states = [nl.state for nl in gs.nodes.values()
-              if isinstance(nl.state, ChordState)]
+    states = [s for _, s in typed_states(gs, ChordState)]
     return any(s.joined and s.predecessor is None for s in states)
 
 
 def _every_joined_node_has_predecessor(gs: GlobalState) -> bool:
-    states = [nl.state for nl in gs.nodes.values()
-              if isinstance(nl.state, ChordState)]
+    states = [s for _, s in typed_states(gs, ChordState)]
     joined = [s for s in states if s.joined]
     return bool(joined) and all(s.predecessor is not None for s in joined)
 

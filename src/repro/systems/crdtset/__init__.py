@@ -1,0 +1,33 @@
+"""Op-based CRDT replica group (OR-Set + PN-Counter).
+
+The first replicated-data system in the repo: convergence and tombstone
+properties instead of overlay-structure invariants, with a deliberately
+buggy last-writer-wins delivery mode that MET-style offline search
+falsifies (see :mod:`.scenarios`).
+"""
+
+from .properties import (
+    ALL_PROPERTIES,
+    CONVERGED,
+    EVENTUALLY_CONVERGES,
+    NO_TOMBSTONE_RESURRECTION,
+)
+from .protocol import DIGEST, OP, OPS, SYNC_TIMER, CrdtConfig, CrdtReplica
+from .scenarios import ConcurrentOpsScenario
+from .state import CrdtState, Tag
+
+__all__ = [
+    "ALL_PROPERTIES",
+    "CONVERGED",
+    "EVENTUALLY_CONVERGES",
+    "NO_TOMBSTONE_RESURRECTION",
+    "DIGEST",
+    "OP",
+    "OPS",
+    "SYNC_TIMER",
+    "CrdtConfig",
+    "CrdtReplica",
+    "ConcurrentOpsScenario",
+    "CrdtState",
+    "Tag",
+]

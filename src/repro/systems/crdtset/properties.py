@@ -1,0 +1,99 @@
+"""Safety and convergence properties for the CRDT replica group.
+
+Registered under the ``crdtset.`` namespace.  The convergence check is the
+CRDT literature's *strong eventual consistency* obligation restated as a
+safety property: two replicas that have delivered the same operations (equal
+delivery vectors, nothing buffered) must expose the same observable set and
+counter value.  Stated this way it is checkable on every single global
+state, which is what lets consequence prediction falsify the buggy LWW
+variant instead of waiting for a liveness window to expire.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ...mc.global_state import GlobalState, NodeLocal
+from ...properties import (
+    SafetyProperty,
+    eventually,
+    node_property,
+    pairwise_property,
+    register_properties,
+    typed_check,
+    typed_states,
+)
+from ...runtime.address import Address
+from .state import CrdtState
+
+
+def _converged(addr_a: Address, local_a: NodeLocal,
+               addr_b: Address, local_b: NodeLocal,
+               gs: GlobalState) -> Iterable[str]:
+    state_a, state_b = local_a.state, local_b.state
+    if not isinstance(state_a, CrdtState) or not isinstance(state_b, CrdtState):
+        return
+    if state_a.pending or state_b.pending:
+        return
+    if state_a.delivery_vector() != state_b.delivery_vector():
+        return
+    seen_a, seen_b = state_a.observable(), state_b.observable()
+    if seen_a != seen_b:
+        yield (f"replicas {addr_a} and {addr_b} delivered the same ops but "
+               f"observe different sets: "
+               f"{sorted(seen_a, key=repr)} vs {sorted(seen_b, key=repr)}")
+    if state_a.counter_value() != state_b.counter_value():
+        yield (f"replicas {addr_a} and {addr_b} delivered the same ops but "
+               f"disagree on the counter: {state_a.counter_value()} vs "
+               f"{state_b.counter_value()}")
+
+
+@typed_check(CrdtState)
+def _no_tombstone_resurrection(addr: Address, state: CrdtState,
+                               timers: frozenset[str],
+                               gs: GlobalState) -> Iterable[str]:
+    for elem, tag in state.resurrected():
+        yield (f"element {elem!r} is observable through add-tag {tag} "
+               f"although an applied remove already covered that tag")
+
+
+CONVERGED = pairwise_property(
+    "crdtset.converged", _converged,
+    "Replicas with equal delivery vectors (and empty reorder buffers) must "
+    "expose the same observable set and counter value.",
+    severity="critical", tags=("crdt", "convergence"))
+
+NO_TOMBSTONE_RESURRECTION = node_property(
+    "crdtset.no_tombstone_resurrection", _no_tombstone_resurrection,
+    "An add-tag observed by an applied remove never becomes live again.",
+    severity="error", tags=("crdt",))
+
+
+def _all_replicas_converged(gs: GlobalState) -> bool:
+    states = [s for _, s in typed_states(gs, CrdtState)]
+    if not states:
+        return False
+    if any(s.pending for s in states):
+        return False
+    reference = states[0]
+    return all(
+        s.delivery_vector() == reference.delivery_vector()
+        and s.observable() == reference.observable()
+        and s.counter_value() == reference.counter_value()
+        for s in states[1:])
+
+
+#: Bounded liveness (opt-in): once the workload quiesces, anti-entropy must
+#: drive every replica to the same delivered set and observable state.
+EVENTUALLY_CONVERGES = eventually(
+    "crdtset.eventually_converges", _all_replicas_converged, within=150.0,
+    description="All replicas reach identical delivery vectors, observable "
+                "sets and counter values within 150 s of the run start.",
+    tags=("crdt", "convergence"))
+
+ALL_PROPERTIES: list[SafetyProperty] = [
+    CONVERGED,
+    NO_TOMBSTONE_RESURRECTION,
+]
+
+register_properties(ALL_PROPERTIES + [EVENTUALLY_CONVERGES])

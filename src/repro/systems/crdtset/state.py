@@ -1,0 +1,95 @@
+"""CRDT replica state: an op-based OR-Set plus a PN-Counter.
+
+Each replica owns a grow-only operation log and a causal delivery vector.
+Operations carry ``(origin, seq)`` identity: an *add* mints a unique tag,
+a *remove* names the add-tags it observed, and the counter ops carry a
+signed amount.  In OR-Set mode (the correct design) operations are applied
+causally (per-origin FIFO, exactly once) and the applies commute, so any
+two replicas that delivered the same operations expose the same observable
+set and counter value.  The deliberately buggy *last-writer-wins* mode
+applies operations in arrival order with no causal metadata — the MET-style
+search scenario falsifies it over concurrent add/remove interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ...runtime.address import Address
+from ...runtime.state import NodeState
+
+#: Unique identity of one add operation: ``(origin host, origin sequence)``.
+Tag = tuple[int, int]
+
+
+@dataclass
+class CrdtState(NodeState):
+    """Local state of one CRDT replica."""
+
+    addr: Address
+    peers: tuple[Address, ...] = ()
+    #: buggy variant: apply ops in arrival order, ignore causal metadata.
+    lww: bool = False
+
+    # -- delivery bookkeeping ---------------------------------------------------
+    #: own operation counter (also the seq of the next local op).
+    seq: int = 0
+    #: per-origin contiguous delivery high-water mark (host -> seq).
+    delivered: dict[int, int] = field(default_factory=dict)
+    #: buffered out-of-order ops awaiting causal predecessors
+    #: ((origin, seq) -> op); always empty in LWW mode.
+    pending: dict[Tag, dict] = field(default_factory=dict)
+    #: grow-only op log in per-origin seq order — the anti-entropy source.
+    log: dict[int, list[dict]] = field(default_factory=dict)
+
+    # -- OR-Set -----------------------------------------------------------------
+    #: element -> add-tags seen for it.
+    adds: dict[Any, set[Tag]] = field(default_factory=dict)
+    #: add-tags cancelled by a remove (OR-Set observed-remove semantics).
+    tombstones: set[Tag] = field(default_factory=set)
+    #: every tag any *applied* remove claimed to observe; a tag in here
+    #: must never be live again (the resurrection property reads this).
+    covered: set[Tag] = field(default_factory=set)
+    #: LWW mode only: the single winning tag per present element.
+    present: dict[Any, Tag] = field(default_factory=dict)
+
+    # -- PN-Counter -------------------------------------------------------------
+    incs: dict[int, int] = field(default_factory=dict)
+    decs: dict[int, int] = field(default_factory=dict)
+
+    #: rotation index over peers for anti-entropy rounds (deterministic
+    #: stand-in for random peer choice, so live and model runs agree).
+    sync_rotation: int = 0
+
+    # -- derived views -----------------------------------------------------------
+
+    def live_tags(self, elem: Any) -> set[Tag]:
+        """The add-tags currently keeping ``elem`` in the set."""
+        if self.lww:
+            tag = self.present.get(elem)
+            return {tag} if tag is not None else set()
+        return self.adds.get(elem, set()) - self.tombstones
+
+    def observable(self) -> frozenset:
+        """The elements a client reading this replica would see."""
+        if self.lww:
+            return frozenset(self.present)
+        return frozenset(
+            elem for elem, tags in self.adds.items()
+            if tags - self.tombstones)
+
+    def counter_value(self) -> int:
+        return sum(self.incs.values()) - sum(self.decs.values())
+
+    def resurrected(self) -> Iterator[tuple[Any, Tag]]:
+        """Elements held live by a tag some applied remove observed."""
+        elems = self.present if self.lww else self.adds
+        for elem in sorted(elems, key=repr):
+            for tag in sorted(self.live_tags(elem)):
+                if tag in self.covered:
+                    yield elem, tag
+
+    def delivery_vector(self) -> dict[int, int]:
+        """The delivery vector with zero entries normalised away."""
+        return {host: seq for host, seq in self.delivered.items() if seq}

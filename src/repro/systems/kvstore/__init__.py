@@ -1,0 +1,48 @@
+"""Quorum-replicated key-value store with optimistic execution.
+
+The second replicated-data system: R/W-quorum replication whose optimistic
+mode acks writes before the quorum confirms, trading session-guarantee
+staleness under partitions for latency — the staleness CrystalBall's
+consequence prediction forecasts and execution steering avoids (see
+``examples/kv_optimistic_steering.py``).
+"""
+
+from .properties import (
+    ALL_PROPERTIES,
+    EVENTUALLY_CONSISTENT,
+    MONOTONIC_READS,
+    QUORUM_INTERSECTION,
+    READ_YOUR_WRITES,
+)
+from .protocol import (
+    CLIENT_TIMER,
+    READ_REPLY,
+    READ_REQ,
+    RECONCILE_TIMER,
+    REPL_ACK,
+    REPLICATE,
+    KvConfig,
+    KvStore,
+)
+from .scenarios import StaleReadScenario
+from .state import NO_VERSION, KvState, Version
+
+__all__ = [
+    "ALL_PROPERTIES",
+    "EVENTUALLY_CONSISTENT",
+    "MONOTONIC_READS",
+    "QUORUM_INTERSECTION",
+    "READ_YOUR_WRITES",
+    "CLIENT_TIMER",
+    "READ_REPLY",
+    "READ_REQ",
+    "RECONCILE_TIMER",
+    "REPL_ACK",
+    "REPLICATE",
+    "KvConfig",
+    "KvStore",
+    "StaleReadScenario",
+    "NO_VERSION",
+    "KvState",
+    "Version",
+]

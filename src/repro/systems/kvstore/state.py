@@ -1,0 +1,93 @@
+"""Quorum-replicated KV store node state.
+
+Every node is both a replica (it stores versioned values) and a
+coordinator for its own clients (it drives a deterministic workload script
+of puts and gets).  Versions are ``(counter, host)`` pairs ordered
+lexicographically — a Lamport-style counter makes concurrent writes
+totally ordered and unique per coordinator.
+
+The session-guarantee bookkeeping is the part the properties read: each
+completed read is checked against the client's *read-your-writes* floor
+(versions this node itself committed) and *monotonic-reads* floor
+(versions it previously read); violations are appended to the
+``stale_reads`` log, mirroring how the Paxos state records learned values
+for the agreement property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ...runtime.address import Address
+from ...runtime.state import NodeState
+
+#: Totally ordered write version: ``(counter, coordinator host)``.
+Version = tuple[int, int]
+
+#: Sentinel for "no version"; smaller than every real version.
+NO_VERSION: Version = (0, 0)
+
+
+@dataclass
+class KvState(NodeState):
+    """Local state of one KV replica/coordinator."""
+
+    addr: Address
+    peers: tuple[Address, ...] = ()
+    #: optimistic execution: writes commit before the write quorum acks.
+    optimistic: bool = False
+    read_quorum: int = 1
+    write_quorum: int = 1
+
+    # -- replica role -----------------------------------------------------------
+    #: key -> (version, value); versions only ever move forward.
+    store: dict[str, tuple[Version, Any]] = field(default_factory=dict)
+    #: Lamport-style counter: max write-version counter seen or minted.
+    version_counter: int = 0
+
+    # -- coordinator role -------------------------------------------------------
+    #: deterministic client script: tuple of ("put"|"get", key, value) ops.
+    workload: tuple[tuple, ...] = ()
+    next_op: int = 0
+    #: unacked replications: key -> {"version", "value", "acks": set[Address]};
+    #: the reconciler keeps re-sending until every replica acked.
+    pending_writes: dict[str, dict] = field(default_factory=dict)
+    #: outstanding reads: read id -> {"key", "expect", "replies": {addr: (v, val)}}.
+    pending_reads: dict[int, dict] = field(default_factory=dict)
+    read_counter: int = 0
+    #: rotation index over peers for optimistic read-one target choice
+    #: (deterministic, so live runs and model predictions agree).
+    read_rotation: int = 0
+
+    # -- session guarantees -----------------------------------------------------
+    #: read-your-writes floor: key -> highest version this node committed.
+    last_written: dict[str, Version] = field(default_factory=dict)
+    #: monotonic-reads floor: key -> highest version this node read.
+    last_read: dict[str, Version] = field(default_factory=dict)
+    #: writes acked to the local client: key -> (version, value).
+    committed: dict[str, tuple[Version, Any]] = field(default_factory=dict)
+    #: observed staleness: (kind, key, floor version, version actually read).
+    stale_reads: list[tuple[str, str, Version, Version]] = \
+        field(default_factory=list)
+
+    reads_done: int = 0
+    writes_done: int = 0
+
+    def replica_count(self) -> int:
+        return len(self.peers) or 1
+
+    def next_version(self) -> Version:
+        """Mint a fresh version above everything this node has seen."""
+        self.version_counter += 1
+        return (self.version_counter, self.addr.host)
+
+    def observe_version(self, version: Version) -> None:
+        self.version_counter = max(self.version_counter, version[0])
+
+    def stored_version(self, key: str) -> Version:
+        entry = self.store.get(key)
+        return entry[0] if entry else NO_VERSION
+
+    def workload_done(self) -> bool:
+        return self.next_op >= len(self.workload)

@@ -16,6 +16,8 @@ from ...properties import (
     leads_to,
     node_property,
     register_properties,
+    typed_check,
+    typed_states,
 )
 from ...runtime.address import Address
 from .state import PaxosState
@@ -23,10 +25,8 @@ from .state import PaxosState
 
 def _agreement(state: GlobalState) -> Iterable[tuple[Optional[Address], str]]:
     chosen: dict[int, list[Address]] = {}
-    for addr, local in state.nodes.items():
-        if not isinstance(local.state, PaxosState):
-            continue
-        for value in local.state.chosen_values:
+    for addr, node_state in typed_states(state, PaxosState):
+        for value in node_state.chosen_values:
             chosen.setdefault(value, []).append(addr)
     if len(chosen) > 1:
         detail = ", ".join(
@@ -36,18 +36,18 @@ def _agreement(state: GlobalState) -> Iterable[tuple[Optional[Address], str]]:
         yield None, f"more than one value chosen: {detail}"
 
 
+@typed_check(PaxosState)
 def _local_agreement(addr: Address, state: PaxosState,
                      timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
-    if isinstance(state, PaxosState) and len(state.chosen_values) > 1:
+    if len(state.chosen_values) > 1:
         yield (f"node observed multiple chosen values: "
                f"{sorted(state.chosen_values)}")
 
 
+@typed_check(PaxosState)
 def _accepted_implies_promised(addr: Address, state: PaxosState,
                                timers: frozenset[str],
                                gs: GlobalState) -> Iterable[str]:
-    if not isinstance(state, PaxosState):
-        return
     if state.accepted_value is not None and state.accepted_round > state.promised_round:
         yield (f"accepted round {state.accepted_round} exceeds promised round "
                f"{state.promised_round}")
@@ -71,14 +71,12 @@ ACCEPTED_IMPLIES_PROMISED = node_property(
 
 
 def _proposal_pending(gs: GlobalState) -> bool:
-    states = [nl.state for nl in gs.nodes.values()
-              if isinstance(nl.state, PaxosState)]
+    states = [s for _, s in typed_states(gs, PaxosState)]
     return any(s.proposing or s.pending_proposal is not None for s in states)
 
 
 def _some_value_chosen(gs: GlobalState) -> bool:
-    states = [nl.state for nl in gs.nodes.values()
-              if isinstance(nl.state, PaxosState)]
+    states = [s for _, s in typed_states(gs, PaxosState)]
     return any(s.chosen_values for s in states)
 
 

@@ -17,7 +17,7 @@ from typing import Optional, Sequence
 
 from ...core.controller import CrystalBallConfig, CrystalBallController, Mode, attach_crystalball
 from ...core.monitor import LivePropertyMonitor
-from ...mc.properties import SafetyProperty
+from ...properties import SafetyProperty
 from ...mc.search import SearchBudget
 from ...mc.transition import TransitionConfig
 from ...runtime.address import Address, make_addresses

@@ -17,27 +17,27 @@ from ...properties import (
     leads_to,
     node_property,
     register_properties,
+    typed_check,
+    typed_states,
 )
 from ...runtime.address import Address
 from .protocol import RECOVERY_TIMER
 from .state import RandTreeState
 
 
+@typed_check(RandTreeState)
 def _children_siblings_disjoint(addr: Address, state: RandTreeState,
                                 timers: frozenset[str],
                                 gs: GlobalState) -> Iterable[str]:
-    if not isinstance(state, RandTreeState):
-        return
     overlap = set(state.children) & set(state.siblings)
     if overlap:
         yield (f"children and siblings are not disjoint: "
                f"{sorted(str(a) for a in overlap)}")
 
 
+@typed_check(RandTreeState)
 def _no_self_reference(addr: Address, state: RandTreeState,
                        timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
-    if not isinstance(state, RandTreeState):
-        return
     if addr in state.children:
         yield "node lists itself as a child"
     if addr in state.siblings:
@@ -46,41 +46,39 @@ def _no_self_reference(addr: Address, state: RandTreeState,
         yield "node is its own parent"
 
 
+@typed_check(RandTreeState)
 def _parent_not_child(addr: Address, state: RandTreeState,
                       timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
-    if not isinstance(state, RandTreeState):
-        return
     if state.parent is not None and state.parent in state.children:
         yield f"parent {state.parent} also appears in the children list"
 
 
+@typed_check(RandTreeState)
 def _root_not_child_or_sibling(addr: Address, state: RandTreeState,
                                timers: frozenset[str],
                                gs: GlobalState) -> Iterable[str]:
-    if not isinstance(state, RandTreeState) or not state.is_root():
+    if not state.is_root():
         return
-    for other_addr, other in gs.nodes.items():
-        if other_addr == addr or not isinstance(other.state, RandTreeState):
+    for other_addr, other in typed_states(gs, RandTreeState):
+        if other_addr == addr:
             continue
-        if addr in other.state.children:
+        if addr in other.children:
             yield f"root {addr} appears as a child of {other_addr}"
-        if addr in other.state.siblings:
+        if addr in other.siblings:
             yield f"root {addr} appears as a sibling of {other_addr}"
 
 
+@typed_check(RandTreeState)
 def _root_has_no_siblings(addr: Address, state: RandTreeState,
                           timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
-    if not isinstance(state, RandTreeState):
-        return
     if state.is_root() and state.siblings:
         yield (f"root keeps a non-empty sibling list: "
                f"{sorted(str(a) for a in state.siblings)}")
 
 
+@typed_check(RandTreeState)
 def _recovery_timer_running(addr: Address, state: RandTreeState,
                             timers: frozenset[str], gs: GlobalState) -> Iterable[str]:
-    if not isinstance(state, RandTreeState):
-        return
     if state.joined and state.peers and RECOVERY_TIMER not in timers:
         yield "node is joined with a non-empty peer list but no recovery timer"
 
@@ -121,14 +119,12 @@ RECOVERY_TIMER_RUNNING = node_property(
 
 
 def _some_node_unjoined(gs: GlobalState) -> bool:
-    states = [nl.state for nl in gs.nodes.values()
-              if isinstance(nl.state, RandTreeState)]
+    states = [s for _, s in typed_states(gs, RandTreeState)]
     return bool(states) and any(not s.joined for s in states)
 
 
 def _all_nodes_joined(gs: GlobalState) -> bool:
-    states = [nl.state for nl in gs.nodes.values()
-              if isinstance(nl.state, RandTreeState)]
+    states = [s for _, s in typed_states(gs, RandTreeState)]
     return bool(states) and all(s.joined for s in states)
 
 

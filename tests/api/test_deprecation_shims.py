@@ -82,3 +82,40 @@ def test_sim_trace_summary_instances_are_the_obs_type():
                                        by_node={}, first_time=0.0,
                                        last_time=0.0)
     assert isinstance(instance, new_summary)
+
+
+def test_mc_properties_warns_on_use_and_delegates():
+    from repro.mc import properties as legacy
+    from repro.mc.global_state import GlobalState
+    from repro.properties import SafetyProperty as new_safety
+
+    with pytest.deprecated_call(match="moved to repro.properties"):
+        prop = legacy.SafetyProperty(
+            "legacy.prop", lambda state: (), "always holds")
+    assert isinstance(prop, new_safety)
+
+    with pytest.deprecated_call(match="moved to repro.properties"):
+        scoped = legacy.node_property(
+            "legacy.scoped", lambda addr, state, timers, gs: (), "per node")
+    assert isinstance(scoped, new_safety)
+
+    empty = GlobalState(nodes={})
+    with pytest.deprecated_call(match="moved to repro.properties"):
+        assert legacy.check_all([prop], empty) == []
+    with pytest.deprecated_call(match="moved to repro.properties"):
+        assert legacy.safety_properties([prop, object()]) == [prop]
+    with pytest.deprecated_call(match="moved to repro.properties"):
+        legacy.PropertyViolation(property_name="legacy.prop", node=None,
+                                 detail="boom")
+
+
+def test_mc_package_reexports_the_new_property_types():
+    import repro.mc as mc
+    from repro.properties import base as new_base
+
+    # ``from repro.mc import SafetyProperty`` must hand out the real
+    # classes (no wrappers, no warning on import).
+    assert mc.SafetyProperty is new_base.SafetyProperty
+    assert mc.PropertyViolation is new_base.PropertyViolation
+    assert mc.check_all is new_base.check_all
+    assert mc.node_property is new_base.node_property

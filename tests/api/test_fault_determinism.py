@@ -23,6 +23,8 @@ SYSTEMS = {
     "paxos": dict(nodes=3, duration=40.0, options={}),
     "bulletprime": dict(nodes=5, duration=60.0,
                         options={"block_count": 4}),
+    "crdtset": dict(nodes=3, duration=60.0, options={}),
+    "kvstore": dict(nodes=3, duration=60.0, options={"ops_per_node": 4}),
 }
 
 _SETTINGS = settings(max_examples=2, deadline=None,

@@ -12,10 +12,10 @@ from repro.api import (
 )
 from repro.runtime import Protocol
 
-BUNDLED = ("bulletprime", "chord", "paxos", "randtree")
+BUNDLED = ("bulletprime", "chord", "crdtset", "kvstore", "paxos", "randtree")
 
 
-def test_all_four_bundled_systems_are_registered():
+def test_all_bundled_systems_are_registered():
     names = [spec.name for spec in list_systems()]
     for name in BUNDLED:
         assert name in names

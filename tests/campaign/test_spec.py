@@ -20,7 +20,7 @@ def test_expand_is_the_full_cross_product():
 def test_expand_defaults_to_every_registered_system():
     runs = CampaignSpec().expand()
     assert {run.system for run in runs} == {
-        "randtree", "chord", "paxos", "bulletprime"}
+        "randtree", "chord", "paxos", "bulletprime", "crdtset", "kvstore"}
     assert all(run.scenario is None for run in runs)
     assert all(run.faults == () for run in runs)
 

@@ -1,5 +1,5 @@
 """Observability must not perturb runs: tracing+metrics on vs off, same
-seed, bit-identical RunReport on all four systems."""
+seed, bit-identical RunReport on every bundled system."""
 
 import pytest
 
@@ -14,6 +14,8 @@ DEPLOYMENTS = [
     ("chord", 8, 40.0),
     ("paxos", 5, 40.0),
     ("bulletprime", 6, 40.0),
+    ("crdtset", 3, 40.0),
+    ("kvstore", 3, 40.0),
 ]
 
 

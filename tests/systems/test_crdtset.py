@@ -1,0 +1,175 @@
+"""Unit tests for the CRDT replica: delivery, semantics, properties."""
+
+from repro.mc import check_all
+from repro.runtime import Address, HandlerContext, Message
+from repro.systems.crdtset import (
+    ALL_PROPERTIES,
+    CONVERGED,
+    DIGEST,
+    NO_TOMBSTONE_RESURRECTION,
+    OP,
+    OPS,
+    ConcurrentOpsScenario,
+    CrdtConfig,
+    CrdtReplica,
+)
+
+A, B, C = Address(1), Address(2), Address(3)
+PEERS = (A, B, C)
+
+
+def _protocol(**kwargs):
+    return CrdtReplica(CrdtConfig(peers=PEERS, **kwargs))
+
+
+def _ctx(addr):
+    return HandlerContext(self_addr=addr)
+
+
+def _op_payloads(ctx):
+    return [m.get("op") for m in ctx.sent if m.mtype == OP]
+
+
+def test_add_mints_tag_and_broadcasts_to_peers():
+    protocol = _protocol()
+    state = protocol.initial_state(A)
+    ctx = _ctx(A)
+    protocol.handle_app(ctx, state, "add", {"elem": "x"})
+    assert state.observable() == frozenset({"x"})
+    assert state.live_tags("x") == {(1, 1)}
+    ops = _op_payloads(ctx)
+    assert {m.dst for m in ctx.sent if m.mtype == OP} == {B, C}
+    assert all(op["tag"] == (1, 1) for op in ops)
+
+
+def test_remove_cancels_only_observed_tags_add_wins():
+    protocol = _protocol()
+    a, b = protocol.initial_state(A), protocol.initial_state(B)
+    ctx = _ctx(A)
+    protocol.handle_app(ctx, a, "add", {"elem": "x"})
+    add_op = _op_payloads(ctx)[0]
+
+    # B removes x having seen A's add; concurrently A re-adds x.
+    protocol._ingest(b, add_op)
+    ctx_b = _ctx(B)
+    protocol.handle_app(ctx_b, b, "remove", {"elem": "x"})
+    remove_op = _op_payloads(ctx_b)[0]
+    assert tuple(remove_op["observed"]) == ((1, 1),)
+
+    ctx2 = _ctx(A)
+    protocol.handle_app(ctx2, a, "add", {"elem": "x"})
+    protocol._ingest(a, remove_op)
+    # The remove cancels (1, 1) but not the concurrent (1, 2): add wins.
+    assert a.observable() == frozenset({"x"})
+    assert a.live_tags("x") == {(1, 2)}
+
+
+def test_out_of_order_ops_are_buffered_until_causally_ready():
+    protocol = _protocol()
+    state = protocol.initial_state(B)
+    op1 = {"origin": 1, "seq": 1, "kind": "add", "elem": "x", "tag": (1, 1)}
+    op2 = {"origin": 1, "seq": 2, "kind": "remove", "elem": "x",
+           "observed": ((1, 1),)}
+    protocol._ingest(state, op2)  # arrives first: must not apply yet
+    assert state.observable() == frozenset()
+    assert (1, 2) in state.pending
+    protocol._ingest(state, op1)  # fills the gap, drains the buffer
+    assert not state.pending
+    assert state.observable() == frozenset()
+    assert state.delivery_vector() == {1: 2}
+
+
+def test_duplicate_delivery_is_idempotent_in_orset_mode():
+    protocol = _protocol()
+    state = protocol.initial_state(B)
+    add = {"origin": 1, "seq": 1, "kind": "add", "elem": "x", "tag": (1, 1)}
+    remove = {"origin": 2, "seq": 1, "kind": "remove", "elem": "x",
+              "observed": ((1, 1),)}
+    for op in (add, remove, add):  # duplicate add after the remove
+        protocol._ingest(state, op)
+    assert state.observable() == frozenset()
+    assert not list(state.resurrected())
+
+
+def test_lww_mode_resurrects_on_duplicate_add():
+    protocol = _protocol(lww=True)
+    state = protocol.initial_state(B)
+    add = {"origin": 1, "seq": 1, "kind": "add", "elem": "x", "tag": (1, 1)}
+    remove = {"origin": 2, "seq": 1, "kind": "remove", "elem": "x",
+              "observed": ((1, 1),)}
+    for op in (add, remove, add):
+        protocol._ingest(state, op)
+    assert state.observable() == frozenset({"x"})
+    assert list(state.resurrected()) == [("x", (1, 1))]
+
+
+def test_pn_counter_merges_concurrent_incs_and_decs():
+    protocol = _protocol()
+    state = protocol.initial_state(A)
+    protocol.handle_app(_ctx(A), state, "inc", {"amount": 3})
+    protocol._ingest(state, {"origin": 2, "seq": 1, "kind": "inc",
+                             "amount": 2})
+    protocol._ingest(state, {"origin": 3, "seq": 1, "kind": "dec",
+                             "amount": 4})
+    assert state.counter_value() == 1
+
+
+def test_anti_entropy_pushes_missing_log_suffix():
+    protocol = _protocol()
+    a, b = protocol.initial_state(A), protocol.initial_state(B)
+    ctx = _ctx(A)
+    protocol.handle_app(ctx, a, "add", {"elem": "x"})
+    protocol.handle_app(ctx, a, "inc", {"amount": 1})
+
+    # B's digest reaches A; A pushes the two ops B is missing.
+    ctx2 = _ctx(A)
+    protocol.handle_message(ctx2, a, Message(
+        mtype=DIGEST, src=B, dst=A,
+        payload={"vector": dict(b.delivered)}))
+    pushes = [m for m in ctx2.sent if m.mtype == OPS]
+    assert len(pushes) == 1
+    for op in pushes[0].get("ops"):
+        protocol._ingest(b, op)
+    assert b.observable() == a.observable()
+    assert b.counter_value() == a.counter_value()
+    assert b.delivery_vector() == a.delivery_vector()
+
+
+def test_digest_from_a_peer_that_is_ahead_requests_a_push_back():
+    protocol = _protocol()
+    state = protocol.initial_state(B)
+    ctx = _ctx(B)
+    protocol.handle_message(ctx, state, Message(
+        mtype=DIGEST, src=A, dst=B, payload={"vector": {1: 2}}))
+    # B has nothing to push but advertises its own vector to be healed.
+    assert [m.mtype for m in ctx.sent] == [DIGEST]
+
+
+def test_converged_property_ignores_replicas_with_different_vectors():
+    scenario = ConcurrentOpsScenario.build(fixed=True)
+    gs = scenario.global_state()
+    # B delivered the remove, A and C did not: vectors differ, so the
+    # pairwise check must not fire on the transient disagreement.
+    assert check_all([CONVERGED], gs) == []
+
+
+def test_search_falsifies_lww_and_passes_orset():
+    from repro.api import Experiment
+
+    buggy = Experiment("crdtset").scenario("concurrent-ops").run()
+    assert buggy.outcome["violations"] > 0
+    names = set(buggy.outcome["violations_by_property"])
+    assert "crdtset.converged" in names
+    assert "crdtset.no_tombstone_resurrection" in names
+
+    fixed = (Experiment("crdtset").scenario("concurrent-ops")
+             .options(fixed=True).run())
+    assert fixed.outcome["violations"] == 0
+
+
+def test_property_objects_are_registered_for_the_namespace():
+    from repro.properties import select_properties
+
+    names = {p.name for p in select_properties("crdtset.*")}
+    assert {CONVERGED.name, NO_TOMBSTONE_RESURRECTION.name} <= names
+    assert {p.name for p in ALL_PROPERTIES} <= names

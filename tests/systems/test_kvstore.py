@@ -1,0 +1,194 @@
+"""Unit tests for the quorum KV store: writes, reads, staleness, durability."""
+
+from repro.mc import check_all
+from repro.runtime import Address, HandlerContext, Message
+from repro.systems.kvstore import (
+    ALL_PROPERTIES,
+    NO_VERSION,
+    QUORUM_INTERSECTION,
+    READ_REPLY,
+    READ_REQ,
+    READ_YOUR_WRITES,
+    REPL_ACK,
+    REPLICATE,
+    KvConfig,
+    KvStore,
+)
+
+A, B, C = Address(1), Address(2), Address(3)
+PEERS = (A, B, C)
+
+
+def _protocol(**kwargs):
+    return KvStore(KvConfig(peers=PEERS, **kwargs))
+
+
+def _ctx(addr):
+    return HandlerContext(self_addr=addr)
+
+
+def test_put_replicates_to_all_peers_and_waits_for_quorum():
+    protocol = _protocol(write_quorum=2)
+    state = protocol.initial_state(A)
+    ctx = _ctx(A)
+    protocol._do_put(ctx, state, "k0", "v1")
+    assert {m.dst for m in ctx.sent if m.mtype == REPLICATE} == {B, C}
+    entry = state.pending_writes["k0"]
+    assert not entry["committed"]  # quorum mode: no ack yet
+    assert state.writes_done == 0
+
+    protocol._on_repl_ack(_ctx(A), state, Message(
+        mtype=REPL_ACK, src=B, dst=A,
+        payload={"key": "k0", "version": entry["version"]}))
+    assert state.pending_writes["k0"]["committed"]
+    assert state.writes_done == 1
+    assert state.last_written["k0"] == entry["version"]
+
+
+def test_optimistic_put_commits_before_any_ack():
+    protocol = _protocol(optimistic=True)
+    state = protocol.initial_state(A)
+    protocol._do_put(_ctx(A), state, "k0", "v1")
+    assert state.pending_writes["k0"]["committed"]
+    assert state.writes_done == 1
+
+
+def test_fully_acked_write_leaves_the_pending_table():
+    protocol = _protocol()
+    state = protocol.initial_state(A)
+    protocol._do_put(_ctx(A), state, "k0", "v1")
+    version = state.pending_writes["k0"]["version"]
+    for src in (B, C):
+        protocol._on_repl_ack(_ctx(A), state, Message(
+            mtype=REPL_ACK, src=src, dst=A,
+            payload={"key": "k0", "version": version}))
+    assert "k0" not in state.pending_writes
+
+
+def test_reconciler_resends_only_to_unacked_peers():
+    protocol = _protocol()
+    state = protocol.initial_state(A)
+    protocol._do_put(_ctx(A), state, "k0", "v1")
+    version = state.pending_writes["k0"]["version"]
+    protocol._on_repl_ack(_ctx(A), state, Message(
+        mtype=REPL_ACK, src=B, dst=A,
+        payload={"key": "k0", "version": version}))
+    ctx = _ctx(A)
+    protocol._reconcile(ctx, state)
+    assert [m.dst for m in ctx.sent] == [C]
+
+
+def test_replica_keeps_newer_version_on_stale_replicate():
+    protocol = _protocol()
+    state = protocol.initial_state(B)
+    protocol._on_replicate(_ctx(B), state, Message(
+        mtype=REPLICATE, src=A, dst=B,
+        payload={"key": "k0", "version": (5, 1), "value": "new"}))
+    ctx = _ctx(B)
+    protocol._on_replicate(ctx, state, Message(
+        mtype=REPLICATE, src=C, dst=B,
+        payload={"key": "k0", "version": (2, 3), "value": "old"}))
+    assert state.store["k0"] == ((5, 1), "new")
+    # Still acks the stale retry so the sender's reconciler settles.
+    assert [m.mtype for m in ctx.sent] == [REPL_ACK]
+
+
+def test_quorum_read_takes_the_maximum_version_of_r_replies():
+    protocol = _protocol(read_quorum=2)
+    state = protocol.initial_state(A)
+    state.store["k0"] = ((1, 1), "old")
+    ctx = _ctx(A)
+    protocol._do_get(ctx, state, "k0")
+    assert {m.dst for m in ctx.sent if m.mtype == READ_REQ} == {B, C}
+    protocol._on_read_reply(_ctx(A), state, Message(
+        mtype=READ_REPLY, src=B, dst=A,
+        payload={"key": "k0", "rid": 1, "version": (3, 2), "value": "new"}))
+    assert state.reads_done == 1
+    assert state.last_read["k0"] == (3, 2)
+    assert not state.stale_reads
+
+
+def test_optimistic_read_rotates_over_single_replicas():
+    protocol = _protocol(optimistic=True)
+    state = protocol.initial_state(A)
+    first, second = _ctx(A), _ctx(A)
+    protocol._do_get(first, state, "k0")
+    protocol._do_get(second, state, "k0")
+    targets = [m.dst for m in first.sent + second.sent
+               if m.mtype == READ_REQ]
+    assert targets == [B, C]  # deterministic rotation, no rng
+
+
+def test_stale_read_below_own_write_is_logged_as_read_your_writes():
+    from repro.mc import GlobalState
+
+    protocol = _protocol(optimistic=True)
+    state = protocol.initial_state(A)
+    state.last_written["k0"] = (4, 1)
+    protocol._record_read(state, "k0", (2, 2))
+    assert state.stale_reads == [("read_your_writes", "k0", (4, 1), (2, 2))]
+    found = check_all([READ_YOUR_WRITES],
+                      GlobalState.from_snapshot({A: state}))
+    assert [v.property_name for v in found] == ["kvstore.read_your_writes"]
+
+
+def test_monotonic_reads_floor_tracks_the_highest_version_seen():
+    protocol = _protocol()
+    state = protocol.initial_state(A)
+    protocol._record_read(state, "k0", (3, 2))
+    protocol._record_read(state, "k0", (1, 1))
+    assert state.stale_reads == [("monotonic_reads", "k0", (3, 2), (1, 1))]
+    assert state.last_read["k0"] == (3, 2)
+
+
+def test_quorum_intersection_flags_unrepaired_committed_writes():
+    protocol = _protocol(write_quorum=2)
+    states = {addr: protocol.initial_state(addr) for addr in PEERS}
+    coordinator = states[A]
+    coordinator.store["k0"] = ((2, 1), "fresh")
+    coordinator.committed["k0"] = ((2, 1), "fresh")
+    # No pending-writes entry: the reconciler has forgotten the write
+    # while only one replica holds it -> durability violation.
+    from repro.mc import GlobalState
+
+    gs = GlobalState.from_snapshot(states)
+    found = check_all([QUORUM_INTERSECTION], gs)
+    assert len(found) == 1
+    assert found[0].property_name == "kvstore.quorum_intersection"
+
+    # A pending repair entry for the same version silences the check.
+    coordinator.pending_writes["k0"] = {
+        "version": (2, 1), "value": "fresh", "acks": {A},
+        "committed": True}
+    assert check_all([QUORUM_INTERSECTION],
+                     GlobalState.from_snapshot(states)) == []
+
+
+def test_workload_pairs_every_put_with_a_read_of_the_same_key():
+    config = KvConfig(peers=PEERS, keys=2, ops_per_node=6)
+    workload = config.workload_for(A)
+    assert len(workload) == 6
+    for put, get in zip(workload[::2], workload[1::2]):
+        assert put[0] == "put" and get[0] == "get"
+        assert put[1] == get[1]
+
+
+def test_search_falsifies_optimistic_mode_and_passes_quorum_mode():
+    from repro.api import Experiment
+
+    buggy = Experiment("kvstore").scenario("stale-read").run()
+    assert buggy.outcome["violations"] > 0
+    assert "kvstore.read_your_writes" in \
+        buggy.outcome["violations_by_property"]
+
+    fixed = (Experiment("kvstore").scenario("stale-read")
+             .options(fixed=True).run())
+    assert fixed.outcome["violations"] == 0
+
+
+def test_property_objects_are_registered_for_the_namespace():
+    from repro.properties import select_properties
+
+    names = {p.name for p in select_properties("kvstore.*")}
+    assert {p.name for p in ALL_PROPERTIES} <= names
+    assert NO_VERSION == (0, 0)
