@@ -1,0 +1,159 @@
+"""Heavy-traffic scale axis: events/sec and memory at 256 and 1000 nodes.
+
+Prices the scale work end to end on a workload-driven live Chord
+deployment — the O(active) scheduler, batched control-plane fan-out,
+sampled deep checking (:class:`~repro.core.controller.CheckingPolicy`)
+and delta-encoded checkpoints — against the per-node-tick-equivalent
+**baseline**: every controller deep-checks every round (``period=1``,
+full compressed checkpoint accounting, sequential fan-out).  Both
+variants drive the same open-loop lookup workload (2 req/s per node) and
+run property checking disabled, which is *conservative*: the legacy
+default also ran the O(n)-per-event property monitor, so the baseline
+here is faster than what a 1000-node live run actually cost before.
+
+Each configuration runs in a forked child process so its peak RSS is its
+own, not the harness's cumulative high-water mark.
+
+The record is written to ``BENCH_scale.json`` at the repository root:
+nodes x events/sec x peak RSS, plus per-node control-plane bytes (which
+must stay flat as the deployment grows).  Environment knobs:
+``CB_SCALE_QUICK=1`` measures the 256-node pair only (CI smoke);
+``CB_SCALE_RESULT`` redirects the output so the committed baseline is
+not clobbered.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import resource
+import time
+from pathlib import Path
+
+import pytest
+
+QUICK = os.environ.get("CB_SCALE_QUICK", "") not in ("", "0")
+SEED = 1
+MIN_SPEEDUP_256 = 2.0
+MIN_SPEEDUP_1000 = 10.0
+MIN_DELIVERED_1000 = 1_000_000
+RESULT_PATH = Path(os.environ.get(
+    "CB_SCALE_RESULT",
+    Path(__file__).resolve().parent.parent / "BENCH_scale.json"))
+
+#: (label, nodes, duration, scaled?) — the scaled 1000-node cell is sized
+#: so its traffic window (100s at 2000 req/s, ~6 messages per lookup)
+#: delivers over a million events.
+CONFIGS = [
+    ("baseline_256", 256, 40.0 if QUICK else 60.0, False),
+    ("scaled_256", 256, 60.0 if QUICK else 120.0, True),
+] + ([] if QUICK else [
+    ("baseline_1000", 1000, 40.0, False),
+    ("scaled_1000", 1000, 120.0, True),
+])
+
+
+def _measure(nodes, duration, scaled, queue):
+    from repro.api import Experiment
+    from repro.core.controller import CheckingPolicy
+    from repro.mc import SearchBudget
+
+    started = time.perf_counter()
+    report = (Experiment("chord")
+              .nodes(nodes)
+              .duration(duration)
+              .churn(False)
+              .properties()
+              .workload("lookups", rate=2.0 * nodes,
+                        burst=max(4, nodes // 16), start=20.0)
+              .crystalball("debug",
+                           budget=SearchBudget(max_states=8, max_depth=2),
+                           checking=CheckingPolicy(
+                               period=max(1, nodes // 16) if scaled else 1,
+                               seed=0),
+                           delta_checkpoints=scaled,
+                           batched_control_plane=scaled)
+              .metrics()
+              .max_events(600_000 if not scaled else 4_000_000)
+              .seed(SEED)
+              .run())
+    wall = time.perf_counter() - started
+    counters = report.metrics["counters"]
+    queue.put({
+        "nodes": nodes,
+        "duration": duration,
+        "checking_period": max(1, nodes // 16) if scaled else 1,
+        "wall_seconds": round(wall, 3),
+        "events_executed": counters["runtime.events_executed"],
+        "messages_delivered": counters["runtime.messages_delivered"],
+        "events_per_sec": round(counters["runtime.events_executed"] / wall),
+        "requests_injected": report.requests_injected(),
+        "requests_completed": report.requests_completed(),
+        "snapshots_collected": report.total("snapshots_collected"),
+        "incomplete_snapshots": report.total("incomplete_snapshots"),
+        "control_bytes_per_node": round(report.checkpoint_bytes() / nodes),
+        # Linux reports ru_maxrss in KiB.
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024),
+    })
+
+
+def _run_config(nodes, duration, scaled):
+    ctx = multiprocessing.get_context("fork")
+    queue = ctx.Queue()
+    proc = ctx.Process(target=_measure,
+                       args=(nodes, duration, scaled, queue))
+    proc.start()
+    result = queue.get()
+    proc.join()
+    return result
+
+
+@pytest.mark.benchmark(group="scale")
+def test_scale(benchmark):
+    def sweep():
+        return {label: _run_config(nodes, duration, scaled)
+                for label, nodes, duration, scaled in CONFIGS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    record = {
+        "scenario": "chord-workload-scale",
+        "workload": "lookups @ 2 req/s per node",
+        "seed": SEED,
+        "quick": QUICK,
+        "configs": results,
+        "speedup_256": round(results["scaled_256"]["events_per_sec"]
+                             / results["baseline_256"]["events_per_sec"], 2),
+        "min_speedup_256": MIN_SPEEDUP_256,
+    }
+    if not QUICK:
+        record["speedup_1000"] = round(
+            results["scaled_1000"]["events_per_sec"]
+            / results["baseline_1000"]["events_per_sec"], 2)
+        record["min_speedup_1000"] = MIN_SPEEDUP_1000
+
+    print(f"\nScale — chord, workload-driven, quick={QUICK}")
+    print(f"{'config':>14} {'nodes':>6} {'ev/s':>8} {'RSS MB':>7} "
+          f"{'ctl B/node':>10}")
+    for label, result in results.items():
+        print(f"{label:>14} {result['nodes']:>6} "
+              f"{result['events_per_sec']:>8} {result['peak_rss_mb']:>7} "
+              f"{result['control_bytes_per_node']:>10}")
+
+    RESULT_PATH.write_text(json.dumps(record, indent=2) + "\n")
+    benchmark.extra_info.update(record)
+
+    for label, result in results.items():
+        assert result["requests_injected"] > 0, label
+        assert result["snapshots_collected"] > 0, label
+    assert record["speedup_256"] >= MIN_SPEEDUP_256, record
+    if QUICK:
+        return  # CI smoke records the 256-node pair without the 1k gates
+    assert record["speedup_1000"] >= MIN_SPEEDUP_1000, record
+    assert (results["scaled_1000"]["messages_delivered"]
+            >= MIN_DELIVERED_1000), results["scaled_1000"]
+    # The control plane stays flat per node as the deployment quadruples.
+    assert (results["scaled_1000"]["control_bytes_per_node"]
+            <= 1.5 * results["scaled_256"]["control_bytes_per_node"]), record

@@ -1,0 +1,93 @@
+#!/usr/bin/env python
+"""Bench gate: fail CI when the scaled runtime loses its headroom.
+
+Judges a freshly measured ``BENCH_scale.json`` record (written by
+``benchmarks/bench_scale.py``, typically in quick mode) against absolute
+floors: the scaled configuration — sampled checking, delta checkpoints,
+batched control plane — must keep at least ``--min-speedup`` (default 2x)
+over the per-node-tick-equivalent baseline at 256 nodes, and 10x at 1000
+nodes when the record carries the full matrix.  Per-node control-plane
+bytes in the scaled cells must also stay under ``--max-control-bytes``.
+The committed baseline at the repository root is printed for context; the
+gate itself is absolute because the invariant is ("the scale machinery
+pays for itself"), not ("no slower than last time").
+
+Usage::
+
+    python scripts/check_scale_regression.py NEW.json
+        [--baseline BASE.json] [--min-speedup 2.0]
+        [--max-control-bytes 8000]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new", type=Path,
+                        help="freshly measured BENCH_scale.json")
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_scale.json",
+                        help="committed baseline record (context only)")
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="minimum scaled/baseline events-per-sec ratio "
+                             "at 256 nodes")
+    parser.add_argument("--min-speedup-1000", type=float, default=10.0,
+                        help="minimum ratio at 1000 nodes (full records)")
+    parser.add_argument("--max-control-bytes", type=float, default=8000,
+                        help="maximum per-node control-plane bytes in the "
+                             "scaled cells")
+    args = parser.parse_args(argv)
+
+    new = json.loads(args.new.read_text())
+
+    if args.baseline.exists():
+        baseline = json.loads(args.baseline.read_text())
+        context = f"speedup_256 {baseline['speedup_256']:.2f}x"
+        if "speedup_1000" in baseline:
+            context += f", speedup_1000 {baseline['speedup_1000']:.2f}x"
+        print(f"baseline: {baseline['scenario']} {context}")
+
+    speedup = float(new["speedup_256"])
+    print(f"measured: {new['scenario']} speedup_256 {speedup:.2f}x "
+          f"(quick={new.get('quick', False)})")
+
+    failures = []
+    if speedup < args.min_speedup:
+        failures.append(
+            f"256-node speedup {speedup:.2f}x is under the "
+            f"{args.min_speedup:.2f}x floor")
+    if "speedup_1000" in new:
+        speedup_1000 = float(new["speedup_1000"])
+        print(f"measured: speedup_1000 {speedup_1000:.2f}x")
+        if speedup_1000 < args.min_speedup_1000:
+            failures.append(
+                f"1000-node speedup {speedup_1000:.2f}x is under the "
+                f"{args.min_speedup_1000:.2f}x floor")
+    for label, config in new["configs"].items():
+        if config.get("checking_period", 1) <= 1:
+            continue
+        per_node = float(config["control_bytes_per_node"])
+        print(f"measured: {label} control bytes/node {per_node:.0f}")
+        if per_node > args.max_control_bytes:
+            failures.append(
+                f"{label} control bytes/node {per_node:.0f} exceeds "
+                f"{args.max_control_bytes:.0f}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: the scaled runtime keeps its headroom")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

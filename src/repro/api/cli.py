@@ -95,6 +95,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="consequence-prediction state budget per run")
     run.add_argument("--max-depth", type=int, default=None,
                      help="consequence-prediction depth bound")
+    run.add_argument("--check-period", type=int, default=None,
+                     help="sampled deep checking: each controller runs its "
+                          "deep-check round every N-th wakeup, phase-rotated "
+                          "across nodes (default 1 = every round)")
     run.add_argument("--churn-interval", type=float, default=None,
                      help="mean seconds between churn events")
     run.add_argument("--no-churn", action="store_true", help="disable churn")
@@ -119,6 +123,25 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fail-on-violation", action="store_true",
                      help="exit non-zero when the run observes a safety "
                           "violation (live monitor or scenario outcome)")
+    run.add_argument("--workload", default=None,
+                     help="drive the live run with this registered "
+                          "open-loop workload (see `list`)")
+    run.add_argument("--workload-rate", type=float, default=None,
+                     help="override the workload's request rate "
+                          "(requests per simulated second)")
+    run.add_argument("--workload-burst", type=int, default=None,
+                     help="override the requests injected per generator "
+                          "wakeup")
+    run.add_argument("--workload-keys", type=int, default=None,
+                     help="override the workload's key-space size")
+    run.add_argument("--workload-distribution", default=None,
+                     choices=["uniform", "zipf", "hotspot", "sequential"],
+                     help="override the key-popularity distribution")
+    run.add_argument("--workload-start", type=float, default=None,
+                     help="override the stream's start offset (simulated "
+                          "seconds)")
+    run.add_argument("--workload-duration", type=float, default=None,
+                     help="override the stream's length (simulated seconds)")
     run.add_argument("--option", metavar="KEY=VALUE", type=_parse_option,
                      action="append", default=[],
                      help="system/scenario-specific option (repeatable)")
@@ -168,8 +191,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=_parse_axis,
         help="axis values, comma-separated (repeatable): systems=all, "
              "presets=partition,chaos, seeds=0-7, modes=off,steering, "
-             "scenarios=live; preset combos join with + "
-             "(presets=partition+delay)")
+             "scenarios=live, workloads=lookups,none; preset combos join "
+             "with + (presets=partition+delay)")
     campaign.add_argument("--jobs", type=int, default=None,
                           help="worker processes (default: os.cpu_count())")
     campaign.add_argument("--out", metavar="PATH", default=None,
@@ -211,6 +234,8 @@ def _cmd_list(as_json: bool) -> int:
             "properties": [prop.name for prop in spec.properties],
             "scenarios": {name: scenario.description
                           for name, scenario in sorted(spec.scenarios.items())},
+            "workloads": {name: workload.description
+                          for name, workload in sorted(spec.workloads.items())},
             "default_nodes": spec.default_nodes,
             "default_duration": spec.default_duration,
         } for spec in systems]
@@ -219,9 +244,11 @@ def _cmd_list(as_json: bool) -> int:
     rows = []
     for spec in systems:
         rows.append([spec.name, len(spec.properties),
-                     ", ".join(sorted(spec.scenarios)) or "-", spec.summary])
-    print(format_table(["system", "properties", "scenarios", "summary"], rows,
-                       title="Registered systems (python -m repro run <system>)"))
+                     ", ".join(sorted(spec.scenarios)) or "-",
+                     ", ".join(sorted(spec.workloads)) or "-", spec.summary])
+    print(format_table(
+        ["system", "properties", "scenarios", "workloads", "summary"], rows,
+        title="Registered systems (python -m repro run <system>)"))
     return 0
 
 
@@ -315,6 +342,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if args.max_depth is not None:
             budget.max_depth = args.max_depth
         cb_kwargs["budget"] = budget
+    if args.check_period is not None:
+        from ..core.controller import CheckingPolicy
+
+        cb_kwargs["checking"] = CheckingPolicy(period=args.check_period)
     try:
         experiment.crystalball(parse_mode(args.mode), **cb_kwargs)
     except ValueError as exc:
@@ -353,6 +384,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
         return 2
     if args.full_recheck:
         experiment.incremental_monitor(False)
+
+    workload_overrides = {
+        "rate": args.workload_rate,
+        "burst": args.workload_burst,
+        "keys": args.workload_keys,
+        "distribution": args.workload_distribution,
+        "start": args.workload_start,
+        "duration": args.workload_duration,
+    }
+    if args.workload is not None:
+        try:
+            experiment.workload(args.workload, **workload_overrides)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    elif any(value is not None for value in workload_overrides.values()):
+        print("error: --workload-* overrides need --workload",
+              file=sys.stderr)
+        return 2
 
     if args.option:
         experiment.options(**dict(args.option))

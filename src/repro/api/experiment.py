@@ -29,6 +29,7 @@ from typing import Any, Callable, Mapping, Optional, Sequence, Union
 
 from ..core.consequence import consequence_prediction
 from ..core.controller import (
+    CheckingPolicy,
     CrystalBallConfig,
     CrystalBallController,
     Mode,
@@ -48,6 +49,7 @@ from ..runtime.churn import ChurnProcess
 from ..runtime.network import NetworkModel
 from ..runtime.protocol import Protocol
 from ..runtime.simulator import Simulator
+from ..workload import OpenLoopDriver, WorkloadSpec
 from .registry import ScenarioSpec, SystemSpec, get_system
 from .report import NodeReport, RunReport
 
@@ -79,6 +81,7 @@ def build_run_report(
     outcome: Optional[dict] = None,
     nemesis: Optional[Nemesis] = None,
     metrics: Optional[MetricsRegistry] = None,
+    workload: Optional[dict] = None,
 ) -> RunReport:
     """Assemble a :class:`RunReport` from the live objects of one run."""
     return RunReport(
@@ -96,6 +99,7 @@ def build_run_report(
         outcome=outcome or {},
         faults=nemesis.report() if nemesis is not None else {},
         metrics=metrics.snapshot() if metrics is not None else {},
+        workload=workload or {},
         simulator=sim,
         controllers=dict(controllers),
         live_monitor=monitor,
@@ -279,6 +283,8 @@ class LiveRun:
     address_start: int = 1
     #: application call used for staggered joins; None skips join scheduling.
     join_call: Optional[str] = "join"
+    #: open-loop request stream driven through the run (see repro.workload).
+    workload: Optional[WorkloadSpec] = None
     #: custom initial scheduling, replaces the join schedule when set.
     schedule: Optional[Callable[[Simulator, Sequence[Address], Mapping], None]] = None
     #: outcome extraction merged into ``RunReport.outcome``.
@@ -362,17 +368,21 @@ class LiveRun:
                 sim.schedule_app(1.0 + index * self.join_spacing, addr,
                                  self.join_call, {})
 
-        churn_events = 0
+        churn: Optional[ChurnProcess] = None
         if self.churn_mean_interval is not None:
             churn = ChurnProcess(nodes=addresses,
                                  mean_interval=self.churn_mean_interval,
                                  seed=self.seed + 7,
                                  stop_after=self.duration * 0.9)
             churn.install(sim)
-            sim.run(until=self.duration, max_events=self.max_events)
-            churn_events = churn.events_injected
-        else:
-            sim.run(until=self.duration, max_events=self.max_events)
+
+        driver: Optional[OpenLoopDriver] = None
+        if self.workload is not None:
+            driver = OpenLoopDriver(self.workload, addresses,
+                                    seed=self.seed).install(sim)
+
+        sim.run(until=self.duration, max_events=self.max_events)
+        churn_events = churn.events_injected if churn is not None else 0
 
         if nemesis is not None:
             # Strip still-open fault windows so a caller-supplied network
@@ -401,6 +411,7 @@ class LiveRun:
             outcome=outcome,
             nemesis=nemesis,
             metrics=obs.metrics,
+            workload=driver.report() if driver is not None else None,
         )
 
 
@@ -433,6 +444,11 @@ class Experiment:
         self._property_exclude: list[str] = []
         self._incremental_monitor = True
         self._max_events = 500_000
+        self._workload: Optional[WorkloadSpec] = None
+        #: registered name behind _workload (None for an inline spec) and
+        #: the traffic overrides applied — what a sweep can carry.
+        self._workload_name: Optional[str] = None
+        self._workload_overrides: dict[str, Any] = {}
         self._trace: Optional[Union[str, Tracer]] = None
         self._metrics = False
         #: builder knobs the caller set explicitly (used to forward what a
@@ -561,16 +577,27 @@ class Experiment:
                     portfolio: Optional[bool] = None,
                     nodes: Optional[Sequence[Address]] = None,
                     immediate_check: Optional[bool] = None,
-                    check_filter_safety: Optional[bool] = None) -> "Experiment":
+                    check_filter_safety: Optional[bool] = None,
+                    checking: Optional[CheckingPolicy] = None,
+                    delta_checkpoints: Optional[bool] = None,
+                    batched_control_plane: Optional[bool] = None,
+                    ) -> "Experiment":
         """Attach CrystalBall controllers in the given mode.
 
         ``mode`` defaults to the explicit config's mode when ``config`` is
-        passed, and to debug otherwise.
+        passed, and to debug otherwise.  The scale knobs: ``checking``
+        samples deep checking across controllers (a
+        :class:`~repro.core.controller.CheckingPolicy`),
+        ``delta_checkpoints`` accounts checkpoint answers as deltas
+        against the peer's last-seen state, and ``batched_control_plane``
+        fans snapshot-gather requests out over UDP in one batch.
         """
         if config is not None and any(
                 value is not None for value in (engine, budget, transition,
                                                 portfolio, immediate_check,
-                                                check_filter_safety)):
+                                                check_filter_safety, checking,
+                                                delta_checkpoints,
+                                                batched_control_plane)):
             raise ValueError(
                 "pass either an explicit config or individual crystalball "
                 "settings (engine/budget/transition/...), not both")
@@ -598,6 +625,15 @@ class Experiment:
         if check_filter_safety is not None:
             self._cb_kwargs["check_filter_safety"] = check_filter_safety
             self._explicit.add("check_filter_safety")
+        if checking is not None:
+            self._cb_kwargs["checking"] = checking
+            self._explicit.add("checking")
+        if delta_checkpoints is not None:
+            self._cb_kwargs["delta_checkpoints"] = delta_checkpoints
+            self._explicit.add("delta_checkpoints")
+        if batched_control_plane is not None:
+            self._cb_kwargs["batched_control_plane"] = batched_control_plane
+            self._explicit.add("batched_control_plane")
         if nodes is not None:
             self._explicit.add("checker_nodes")
         return self
@@ -605,6 +641,51 @@ class Experiment:
     def mode(self, mode: Union[Mode, str]) -> "Experiment":
         """Shorthand for :meth:`crystalball` keeping other settings."""
         self._mode = parse_mode(mode)
+        return self
+
+    def workload(self, workload: Union[str, WorkloadSpec, None], *,
+                 rate: Optional[float] = None,
+                 burst: Optional[int] = None,
+                 keys: Optional[int] = None,
+                 distribution: Optional[str] = None,
+                 start: Optional[float] = None,
+                 duration: Optional[float] = None) -> "Experiment":
+        """Drive the live run with an open-loop request stream.
+
+        ``workload`` is a workload name registered on the system (see
+        ``python -m repro list``) or an explicit
+        :class:`~repro.workload.WorkloadSpec`; ``None`` turns the stream
+        back off.  The keyword arguments override the registered traffic
+        shape (see :class:`~repro.workload.TrafficSpec`)::
+
+            report = (Experiment("chord")
+                      .nodes(1000)
+                      .workload("lookups", rate=2000, burst=50)
+                      .run())
+            print(report.workload["requests_completed"])
+        """
+        if workload is None:
+            self._workload = None
+            self._workload_name = None
+            self._workload_overrides = {}
+            self._explicit.discard("workload")
+            return self
+        if isinstance(workload, str):
+            spec = self._spec.workload(workload)
+            self._workload_name = workload
+        else:
+            spec = workload
+            self._workload_name = None
+        overrides = {
+            key: value
+            for key, value in (("rate", rate), ("burst", burst),
+                               ("keys", keys),
+                               ("key_distribution", distribution),
+                               ("start", start), ("duration", duration))
+            if value is not None}
+        self._workload_overrides = overrides
+        self._workload = spec.with_traffic(**overrides) if overrides else spec
+        self._explicit.add("workload")
         return self
 
     def scenario(self, name: str) -> "Experiment":
@@ -728,7 +809,8 @@ class Experiment:
             "network", "churn", "engine", "portfolio", "max_events",
             "properties", "transition", "immediate_check",
             "check_filter_safety", "checker_nodes", "faults",
-            "incremental_monitor", "trace", "metrics"}
+            "incremental_monitor", "trace", "metrics", "workload",
+            "checking", "delta_checkpoints", "batched_control_plane"}
 
         def forward(setting: str, key: str, value: Any) -> None:
             if key in named:
@@ -787,6 +869,7 @@ class Experiment:
             fault_seed=self._fault_seed,
             fault_start_after=self._fault_start_after,
             incremental_monitor=self._incremental_monitor,
+            workload=self._workload,
             join_call=self._spec.join_call,
             schedule=self._spec.schedule,
             collect=self._spec.collect,
@@ -804,6 +887,7 @@ class Experiment:
               scenarios: Optional[Sequence[Optional[str]]] = None,
               properties: Optional[
                   Sequence[Union[str, Sequence[str], None]]] = None,
+              workloads: Optional[Sequence[Optional[str]]] = None,
               jobs: Optional[int] = None,
               out: Optional[Any] = None,
               resume: bool = False,
@@ -884,13 +968,28 @@ class Experiment:
                     "selection; its Property instances are dropped from "
                     "the sweep", UserWarning, stacklevel=2)
             property_axis = list(properties)
+        if workloads is None:
+            if self._workload is not None and self._workload_name is None:
+                raise ValueError(
+                    "sweep() cannot carry an inline WorkloadSpec instance "
+                    "into worker processes; register the workload on the "
+                    "system and select it by name: .workload('lookups')")
+            workload_axis: Sequence[Optional[str]] = [self._workload_name]
+        else:
+            if self._workload is not None and self._workload_name is None:
+                warnings.warn(
+                    "the workloads= axis replaces the builder's inline "
+                    "WorkloadSpec; it is dropped from the sweep",
+                    UserWarning, stacklevel=2)
+            workload_axis = list(workloads)
         # "metrics" carries implicitly: campaign workers always collect
         # metrics into each cell's report.  A trace file cannot be shared
         # across worker processes, so it is dropped with a warning.
         uncarried = self._explicit & {
             "engine", "portfolio", "max_events", "transition",
             "immediate_check", "check_filter_safety", "checker_nodes",
-            "incremental_monitor", "trace"}
+            "incremental_monitor", "trace", "checking", "delta_checkpoints",
+            "batched_control_plane"}
         if self._cb_config is not None or "search_budget" in self._cb_kwargs:
             uncarried = uncarried | {"crystalball config/budget"}
         if uncarried:
@@ -907,6 +1006,8 @@ class Experiment:
             modes=(list(modes) if modes is not None else [self._mode.value]),
             properties=property_axis,
             properties_exclude=tuple(self._property_exclude),
+            workloads=workload_axis,
+            workload_overrides=dict(self._workload_overrides),
             nodes=self._nodes if "nodes" in self._explicit else None,
             duration=(self._duration if "duration" in self._explicit
                       else None),

@@ -26,6 +26,7 @@ from ..mc.transition import TransitionConfig
 from ..properties import Property, select_properties
 from ..runtime.address import Address
 from ..runtime.protocol import Protocol
+from ..workload import WorkloadSpec
 
 #: ``protocol_factory(addresses, options) -> per-node factory`` — given the
 #: experiment's member addresses and system-specific options, return the
@@ -71,6 +72,11 @@ class SystemSpec:
     #: Factory (not an instance) so no two experiments share mutable config.
     transition_factory: Callable[[], TransitionConfig] = TransitionConfig
     scenarios: Mapping[str, ScenarioSpec] = field(default_factory=dict)
+    #: Named open-loop workloads of this system (see :mod:`repro.workload`),
+    #: registered the way scenarios are and selected with
+    #: ``Experiment.workload(...)`` / ``run --workload`` / the campaign
+    #: ``workloads=`` axis.
+    workloads: Mapping[str, "WorkloadSpec"] = field(default_factory=dict)
     default_nodes: int = 6
     default_duration: float = 300.0
     tick_interval: float = 10.0
@@ -97,6 +103,15 @@ class SystemSpec:
             raise KeyError(
                 f"system {self.name!r} has no scenario {name!r} "
                 f"(known scenarios: {known})") from None
+
+    def workload(self, name: str) -> "WorkloadSpec":
+        try:
+            return self.workloads[name]
+        except KeyError:
+            known = ", ".join(sorted(self.workloads)) or "<none>"
+            raise KeyError(
+                f"system {self.name!r} has no workload {name!r} "
+                f"(known workloads: {known})") from None
 
     def registered_properties(self) -> list[Property]:
         """Everything registered under this system's property namespace.

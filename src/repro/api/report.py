@@ -76,6 +76,9 @@ class RunReport:
     #: run had metrics enabled; empty otherwise.  Histogram values carry
     #: wall-clock timings and are excluded from deterministic comparisons.
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Open-loop workload summary (requests injected/completed/skipped and
+    #: the traffic shape) when the run drove a workload; empty otherwise.
+    workload: dict[str, Any] = field(default_factory=dict)
 
     # Live handles, excluded from serialization.
     simulator: Any = field(default=None, repr=False, compare=False)
@@ -196,9 +199,17 @@ class RunReport:
 
     # ----------------------------------------------------------- serialization
 
+    def requests_injected(self) -> int:
+        """Workload requests injected (0 for workload-free runs)."""
+        return int(self.workload.get("requests_injected", 0))
+
+    def requests_completed(self) -> int:
+        """Workload requests whose completion reply was delivered."""
+        return int(self.workload.get("requests_completed", 0))
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready representation (live handles excluded)."""
-        return {
+        data = {
             "system": self.system,
             "scenario": self.scenario,
             "mode": self.mode,
@@ -219,6 +230,11 @@ class RunReport:
             "outcome": to_jsonable(self.outcome),
             "nodes": [node.to_dict() for node in self.nodes],
         }
+        # Only workload-driven runs carry the key, so reports serialized
+        # before the workload API existed compare bit-identically.
+        if self.workload:
+            data["workload"] = to_jsonable(self.workload)
+        return data
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

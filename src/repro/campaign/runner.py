@@ -64,6 +64,8 @@ def run_one(run: RunSpec) -> RunReport:
                               exclude=run.properties_exclude)
     if run.options:
         experiment.options(**dict(run.options))
+    if run.workload is not None:
+        experiment.workload(run.workload, **dict(run.workload_overrides))
     # Metrics are always on for live cells: counters are deterministic and
     # feed the aggregate's metrics rollup (cheap — no tracing).  Scripted
     # scenarios build their own simulators and cannot honor the setting.
@@ -101,6 +103,8 @@ def summarize_report(report: RunReport) -> dict[str, Any]:
         "violation_episodes": int(
             report.monitor.get("distinct_violation_episodes", 0)),
         "violations_by_property": report.violations_by_property(),
+        "requests_injected": report.requests_injected(),
+        "requests_completed": report.requests_completed(),
     }
 
 

@@ -94,6 +94,10 @@ class RunSpec:
     #: simple network scalars (rtt/loss/jitter/rst_loss) for live runs.
     network: tuple[tuple[str, float], ...] = ()
     options: tuple[tuple[str, Any], ...] = ()
+    #: registered workload name driven through the live run; None = none.
+    workload: Optional[str] = None
+    #: traffic-shape overrides (rate/burst/keys/...) applied to it.
+    workload_overrides: tuple[tuple[str, Any], ...] = ()
 
     @property
     def properties_label(self) -> str:
@@ -104,9 +108,10 @@ class RunSpec:
     def run_id(self) -> str:
         """Stable identity of this cell, independent of execution order.
 
-        The ``props=`` segment is only present for a non-default property
-        selection, so result stores written before the properties axis
-        existed keep matching their run ids.
+        The ``props=`` / ``wl=`` segments are only present for a
+        non-default property selection / a workload-driven cell, so result
+        stores written before those axes existed keep matching their run
+        ids.
         """
         parts = [
             self.system,
@@ -117,6 +122,8 @@ class RunSpec:
         ]
         if self.properties is not None:
             parts.append(f"props={self.properties_label}")
+        if self.workload is not None:
+            parts.append(f"wl={self.workload}")
         return ":".join(parts)
 
     def to_dict(self) -> dict[str, Any]:
@@ -138,6 +145,8 @@ class RunSpec:
             "churn_interval": self.churn_interval,
             "network": dict(self.network),
             "options": dict(self.options),
+            "workload": self.workload,
+            "workload_overrides": dict(self.workload_overrides),
         }
 
     @classmethod
@@ -160,6 +169,9 @@ class RunSpec:
             churn_interval=data.get("churn_interval"),
             network=tuple(sorted((data.get("network") or {}).items())),
             options=tuple(sorted((data.get("options") or {}).items())),
+            workload=data.get("workload"),
+            workload_overrides=tuple(sorted(
+                (data.get("workload_overrides") or {}).items())),
         )
 
 
@@ -182,7 +194,11 @@ class CampaignSpec:
       sequence of patterns, ``"none"`` for a property-free cell, or
       ``None`` / ``"default"`` for the system's default set (default:
       default set only).  ``properties_exclude`` patterns apply to every
-      non-default selection.
+      non-default selection;
+    * ``workloads`` — registered workload names driven through live cells,
+      ``None`` / ``"none"`` for a workload-free cell (default: none).
+      ``workload_overrides`` (rate/burst/keys/distribution/start/duration)
+      apply to every workload-driven cell.
 
     Shared settings: ``nodes``, ``duration`` (scalar, or per-system via
     ``durations``), ``churn`` (off by default so the named faults are the
@@ -197,6 +213,8 @@ class CampaignSpec:
     modes: Sequence[str] = ("off",)
     properties: Sequence[Union[str, Sequence[str], None]] = (None,)
     properties_exclude: Sequence[str] = ()
+    workloads: Sequence[Optional[str]] = (None,)
+    workload_overrides: Mapping[str, Any] = field(default_factory=dict)
     nodes: Optional[int] = None
     duration: Optional[float] = None
     durations: Mapping[str, float] = field(default_factory=dict)
@@ -222,6 +240,7 @@ class CampaignSpec:
                 properties_label(_property_combo(value))
                 for value in self.properties
             ],
+            "workloads": [workload or "none" for workload in self.workloads],
         }
 
     def _system_names(self) -> list[str]:
@@ -303,6 +322,36 @@ class CampaignSpec:
                 "sweep properties over live runs"
             )
 
+        workloads = [None if name in (None, "none") else name
+                     for name in self.workloads]
+        for name in workloads:
+            if name is None:
+                continue
+            for system in systems:
+                try:
+                    specs[system].workload(name)
+                except KeyError as exc:
+                    raise ValueError(exc.args[0]) from None
+        if any(name is not None for name in scenarios) and any(
+            name is not None for name in workloads
+        ):
+            # Scenario runners script their own deployment and request
+            # schedule; a workload crossed with them would be silently
+            # ignored while still labelling the records.
+            raise ValueError(
+                "workloads cannot be combined with scripted scenarios "
+                "(scenarios script their own request schedules); sweep "
+                "workloads over live runs"
+            )
+        known_overrides = {"rate", "burst", "keys", "distribution",
+                           "start", "duration"}
+        unknown_overrides = set(self.workload_overrides) - known_overrides
+        if unknown_overrides:
+            raise ValueError(
+                f"unknown workload override(s) {sorted(unknown_overrides)} "
+                f"(accepted: {sorted(known_overrides)})"
+            )
+
         # Durations may name any registered system (a narrowed campaign can
         # reuse the full matrix's duration table) — but a typo'd name that
         # matches nothing registered would silently fall back to defaults.
@@ -326,36 +375,44 @@ class CampaignSpec:
         network = tuple(sorted(self.network.items()))
         options = tuple(sorted(self.options.items()))
         exclude = tuple(self.properties_exclude)
+        overrides = tuple(sorted(self.workload_overrides.items()))
         runs = []
         for system in systems:
             for scenario in scenarios:
                 for combo in combos:
                     for mode in modes:
                         for property_combo in property_combos:
-                            for seed in self.seeds:
-                                runs.append(
-                                    RunSpec(
-                                        system=system,
-                                        scenario=scenario,
-                                        mode=mode,
-                                        seed=int(seed),
-                                        faults=combo,
-                                        fault_seed=self.fault_seed,
-                                        fault_start_after=self.fault_start_after,
-                                        properties=property_combo,
-                                        properties_exclude=(
-                                            exclude
-                                            if property_combo is not None
-                                            else ()
-                                        ),
-                                        nodes=self.nodes,
-                                        duration=self._duration_for(system),
-                                        churn=self.churn,
-                                        churn_interval=self.churn_interval,
-                                        network=network,
-                                        options=options,
+                            for workload in workloads:
+                                for seed in self.seeds:
+                                    runs.append(
+                                        RunSpec(
+                                            system=system,
+                                            scenario=scenario,
+                                            mode=mode,
+                                            seed=int(seed),
+                                            faults=combo,
+                                            fault_seed=self.fault_seed,
+                                            fault_start_after=self.fault_start_after,
+                                            properties=property_combo,
+                                            properties_exclude=(
+                                                exclude
+                                                if property_combo is not None
+                                                else ()
+                                            ),
+                                            nodes=self.nodes,
+                                            duration=self._duration_for(system),
+                                            churn=self.churn,
+                                            churn_interval=self.churn_interval,
+                                            network=network,
+                                            options=options,
+                                            workload=workload,
+                                            workload_overrides=(
+                                                overrides
+                                                if workload is not None
+                                                else ()
+                                            ),
+                                        )
                                     )
-                                )
         return runs
 
 
@@ -383,7 +440,8 @@ def parse_axes(pairs: Mapping[str, str]) -> dict[str, Any]:
     """Turn CLI ``--axes key=values`` pairs into CampaignSpec axis kwargs.
 
     Keys: ``systems``, ``scenarios``, ``presets`` (alias ``faults``),
-    ``seeds``, ``modes``, ``properties``.  Values are comma-separated;
+    ``seeds``, ``modes``, ``properties``, ``workloads``.  Values are
+    comma-separated;
     ``all`` expands to every registered system / fault preset; ``none``
     gives a fault-free or live-only axis value; combos use ``+``
     (``partition+delay``, ``randtree.*+chord.*``).  Properties values are
@@ -426,9 +484,13 @@ def parse_axes(pairs: Mapping[str, str]) -> dict[str, Any]:
                 None if value == DEFAULT_PROPERTIES else value
                 for value in values
             ]
+        elif key == "workloads":
+            kwargs["workloads"] = [
+                None if value == "none" else value for value in values
+            ]
         else:
             raise ValueError(
                 f"unknown campaign axis {key!r} (axes: systems, scenarios, "
-                f"presets, seeds, modes, properties)"
+                f"presets, seeds, modes, properties, workloads)"
             )
     return kwargs

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..runtime.address import Address
-from ..runtime.serialization import diff_size
+from ..runtime.serialization import delta_size, diff_size
 from ..runtime.state import NodeState
 
 
@@ -34,6 +34,15 @@ class Checkpoint:
     def compressed_bytes(self) -> int:
         """Size after the checkpoint manager's compression (Section 4)."""
         return self.state.compressed_bytes() + 8 * len(self.timers)
+
+    def delta_bytes(self, previous: Optional[NodeState]) -> int:
+        """Wire cost against a peer holding ``previous`` under delta
+        encoding: only the changed state fields travel (plus the timer
+        set), never more than the full compressed checkpoint."""
+        if previous is None:
+            return self.compressed_bytes()
+        return min(delta_size(previous, self.state) + 8 * len(self.timers),
+                   self.compressed_bytes())
 
 
 @dataclass
@@ -89,12 +98,24 @@ class PeerTransferCache:
     last_sent: dict[Address, NodeState] = field(default_factory=dict)
     bytes_saved: int = 0
 
-    def transfer_cost(self, peer: Address, checkpoint: Checkpoint) -> int:
-        """Bytes needed to send ``checkpoint`` to ``peer`` given history."""
+    def transfer_cost(self, peer: Address, checkpoint: Checkpoint, *,
+                      delta: bool = False) -> int:
+        """Bytes needed to send ``checkpoint`` to ``peer`` given history.
+
+        With ``delta=True`` a changed checkpoint is charged at
+        delta-encoded cost (changed state fields only) instead of the
+        conservative full compressed re-send.
+        """
         previous = self.last_sent.get(peer)
         full = checkpoint.compressed_bytes()
         if previous is None:
             cost = full
+        elif delta:
+            # Never worse than the conservative accounting: an unchanged
+            # state stays at the bare header even though the delta form
+            # would re-ship the timer set.
+            cost = min(checkpoint.delta_bytes(previous),
+                       diff_size(previous, checkpoint.state))
         else:
             cost = diff_size(previous, checkpoint.state)
         self.last_sent[peer] = checkpoint.state.clone()

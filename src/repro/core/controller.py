@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
 import time
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence
@@ -58,6 +59,44 @@ class Mode(enum.Enum):
     #: Only the immediate safety check, no consequence prediction
     #: (the middle configuration of Section 5.4.1).
     ISC_ONLY = "isc-only"
+
+
+@dataclass(frozen=True)
+class CheckingPolicy:
+    """Which rounds a node runs the full snapshot + model-check cycle.
+
+    Sampled deep checking, straight from the paper's deployment story
+    (Section 4): only a rotating subset of nodes runs the full CrystalBall
+    checker each round while every node keeps the cheap incremental
+    monitor.  With ``period == n`` each node deep-checks every n-th round;
+    the seeded phase assignment spreads the duty so roughly ``1/n`` of the
+    nodes check in any given round, and off-duty controllers schedule no
+    wakeups at all (the O(active) property).  Rotation is derived from a
+    stable digest of ``(seed, node address)``, so it is bit-reproducible
+    per seed regardless of ``PYTHONHASHSEED`` or attach order.
+
+    ``period == 1`` — the default — is the classic every-node-every-round
+    behaviour and is bit-identical to the pre-policy runtime.
+    """
+
+    period: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period < 1:
+            raise ValueError("CheckingPolicy.period must be >= 1")
+
+    def phase(self, addr: Address) -> int:
+        """This node's deep-check round offset in ``[0, period)``."""
+        if self.period <= 1:
+            return 0
+        digest = hashlib.sha1(
+            f"{self.seed}:{addr}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:8], "big") % self.period
+
+    def checks_in_round(self, addr: Address, round_index: int) -> bool:
+        """Whether ``addr`` deep-checks in round ``round_index`` (0-based)."""
+        return round_index % self.period == self.phase(addr)
 
 
 @dataclass
@@ -101,6 +140,19 @@ class CrystalBallConfig:
     #: state is preferable to a blind spot; the paper attributes its Paxos
     #: false negatives to exactly such missing checkpoints.
     reuse_cached_checkpoints: bool = True
+    #: Sampled deep checking (see :class:`CheckingPolicy`).  The default
+    #: every-round policy is bit-identical to the pre-policy runtime.
+    checking: CheckingPolicy = field(default_factory=CheckingPolicy)
+    #: Charge checkpoint responses at delta-encoded cost: a peer holding
+    #: the previous checkpoint only pays for the changed state fields, so
+    #: control-plane bytes stay flat as node count grows.  Off by default
+    #: because it changes the byte accounting of existing runs.
+    delta_checkpoints: bool = False
+    #: Fan snapshot requests out as one batched UDP delivery plan instead
+    #: of a TCP heap entry per neighbour.  Off by default: UDP requests may
+    #: be lost (an incomplete snapshot rather than a retry), which is the
+    #: scale trade-off, not the 24-node semantics.
+    batched_control_plane: bool = False
 
     def copy(self) -> "CrystalBallConfig":
         """Per-controller copy: budgets and transition config are mutable
@@ -167,6 +219,8 @@ class CrystalBallController:
 
         self.system = TransitionSystem(protocol, self.config.transition)
         self.engine = make_engine(self.config.engine)
+        #: wakeup spacing; set from the simulator's tick interval at attach.
+        self._wakeup_interval = 10.0 * self.config.checking.period
         self.store = CheckpointStore(quota=self.config.checkpoint_quota)
         self.transfer_cache = PeerTransferCache()
         self.isc = ImmediateSafetyCheck(self.system, self.properties)
@@ -184,6 +238,36 @@ class CrystalBallController:
 
     # ------------------------------------------------------------------ NodeHook
 
+    def on_attach(self, sim: Simulator, node: SimNode) -> None:
+        """Arm this controller's own wakeup schedule (O(active) scheduling).
+
+        With the default every-round :class:`CheckingPolicy` this
+        reproduces the legacy polled tick bit for bit: the first wakeup
+        fires one tick interval after attach and each round re-arms after
+        its work, exactly where the old ``tick`` dispatch allocated its
+        heap entries.  With a sampled policy the first wakeup is deferred
+        to this node's phase and later wakeups skip the rounds the node is
+        off duty — a sleeping controller holds no heap entry and costs no
+        scheduler cycles, yet still answers peers' checkpoint requests on
+        demand (delivery-driven, not tick-driven).
+        """
+        self._wakeup_interval = sim.tick_interval * self.config.checking.period
+        phase = self.config.checking.phase(self.addr)
+        sim.schedule_at(sim.now + sim.tick_interval * (phase + 1),
+                        self._wakeup)
+
+    def _wakeup(self, sim: Simulator) -> None:
+        # Mirrors the legacy tick dispatch: a detached or superseded hook
+        # stops running, a dead node skips the round but keeps its wakeup
+        # armed so a revived node resumes checking.
+        node = sim.nodes.get(self.addr)
+        if node is None:
+            return
+        if node.alive and node.hook is self:
+            self.on_tick(sim, node)
+        if node.hook is self:
+            sim.schedule_at(sim.now + self._wakeup_interval, self._wakeup)
+
     def on_tick(self, sim: Simulator, node: SimNode) -> None:
         """Periodic controller activity: finalise the previous snapshot
         round, run the model checker on it, and start a new round."""
@@ -193,37 +277,56 @@ class CrystalBallController:
         local = self._take_checkpoint(sim, node, node.clock.advance())
 
         if self._pending_gather is not None:
-            snapshot = NeighborhoodSnapshot.from_gather(
-                self._pending_gather, local, at_time=sim.now)
-            if self._pending_gather.missing or self._pending_gather.negative:
-                self.stats.incomplete_snapshots += 1
-            if self.config.reuse_cached_checkpoints:
-                for missing in list(snapshot.missing):
-                    cached = self.peer_checkpoints.get(missing)
-                    if cached is not None:
-                        snapshot.checkpoints[missing] = cached
-                snapshot.missing = frozenset(
-                    snapshot.missing - set(snapshot.checkpoints))
-            self.last_snapshot = snapshot
-            self.stats.snapshots_collected += 1
-            if sim.obs.metrics is not None:
-                sim.obs.metrics.inc("controller.snapshots_collected")
-                if snapshot.missing:
-                    sim.obs.metrics.inc("controller.incomplete_snapshots")
-            if sim.obs.tracer is not None:
-                sim.obs.tracer.snapshot(
-                    sim.now, node.addr, snapshot.checkpoint_number,
-                    len(snapshot.checkpoints), len(snapshot.missing))
-            if self.config.mode in (Mode.DEBUG, Mode.STEERING):
-                self._run_model_checker(sim, node, snapshot)
-            self._pending_gather = None
+            self._finalize_gather(sim, node, local)
 
         self._start_gather(sim, node, local)
+        if self.config.checking.period > 1:
+            # Under sampling the next on-duty wakeup is a full period away
+            # — far too late to close this round's gather.  Finalise it
+            # one tick from now instead, once the responses are in.
+            sim.schedule_at(sim.now + sim.tick_interval,
+                            self._finalize_wakeup)
         if sim.obs.metrics is not None:
             sim.obs.metrics.inc("controller.ticks")
             sim.obs.metrics.observe(
                 "controller.tick_seconds",
                 time.perf_counter() - tick_started)
+
+    def _finalize_wakeup(self, sim: Simulator) -> None:
+        node = sim.nodes.get(self.addr)
+        if (node is None or not node.alive or node.hook is not self
+                or self._pending_gather is None):
+            return
+        self._finalize_gather(
+            sim, node, self._take_checkpoint(sim, node, node.clock.advance()))
+
+    def _finalize_gather(self, sim: Simulator, node: SimNode,
+                         local: Checkpoint) -> None:
+        """Close the pending gather into a snapshot and model-check it."""
+        snapshot = NeighborhoodSnapshot.from_gather(
+            self._pending_gather, local, at_time=sim.now)
+        if self._pending_gather.missing or self._pending_gather.negative:
+            self.stats.incomplete_snapshots += 1
+        if self.config.reuse_cached_checkpoints:
+            for missing in list(snapshot.missing):
+                cached = self.peer_checkpoints.get(missing)
+                if cached is not None:
+                    snapshot.checkpoints[missing] = cached
+            snapshot.missing = frozenset(
+                snapshot.missing - set(snapshot.checkpoints))
+        self.last_snapshot = snapshot
+        self.stats.snapshots_collected += 1
+        if sim.obs.metrics is not None:
+            sim.obs.metrics.inc("controller.snapshots_collected")
+            if snapshot.missing:
+                sim.obs.metrics.inc("controller.incomplete_snapshots")
+        if sim.obs.tracer is not None:
+            sim.obs.tracer.snapshot(
+                sim.now, node.addr, snapshot.checkpoint_number,
+                len(snapshot.checkpoints), len(snapshot.missing))
+        if self.config.mode in (Mode.DEBUG, Mode.STEERING):
+            self._run_model_checker(sim, node, snapshot)
+        self._pending_gather = None
 
     def filter_event(self, sim: Simulator, node: SimNode, event: Event) -> FilterAction:
         if self.config.mode is not Mode.STEERING:
@@ -298,17 +401,27 @@ class CrystalBallController:
                                 expected=frozenset(neighbors),
                                 started_at=sim.now)
         self._pending_gather = gather
-        for neighbor in neighbors:
-            request = Message(
+        transport = (Transport.UDP if self.config.batched_control_plane
+                     else Transport.TCP)
+        requests = [
+            Message(
                 mtype=CHECKPOINT_REQUEST,
                 src=node.addr,
                 dst=neighbor,
                 payload={"cn": local.checkpoint_number},
-                transport=Transport.TCP,
+                transport=transport,
                 control=True,
             )
-            sim.transmit(node.addr, request)
-            self.stats.checkpoint_requests_sent += 1
+            for neighbor in neighbors
+        ]
+        if self.config.batched_control_plane:
+            # One delivery plan for the whole fan-out: a single heap entry
+            # regardless of neighbourhood size.
+            sim.transmit_batch(node.addr, requests)
+        else:
+            for request in requests:
+                sim.transmit(node.addr, request)
+        self.stats.checkpoint_requests_sent += len(requests)
 
     def _answer_checkpoint_request(self, sim: Simulator, node: SimNode,
                                    message: Message) -> None:
@@ -329,7 +442,8 @@ class CrystalBallController:
             self._send_negative(sim, node, requester)
             return
 
-        cost = self.transfer_cache.transfer_cost(requester, checkpoint)
+        cost = self.transfer_cache.transfer_cost(
+            requester, checkpoint, delta=self.config.delta_checkpoints)
         self.stats.checkpoint_bytes_sent += cost
         if sim.obs.metrics is not None:
             sim.obs.metrics.inc("controller.checkpoint_bytes_sent", cost)

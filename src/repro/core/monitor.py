@@ -212,6 +212,12 @@ class LivePropertyMonitor:
         self.events_checked += 1
         if self._obs.metrics is not None:
             self._obs.metrics.inc("monitor.events_checked")
+        if not self._safety and not self._trackers:
+            # Nothing to check: skip the O(nodes) global-state build so a
+            # property-free run costs O(1) per event (scale runs rely on
+            # this — a 1k-node deployment must not pay a 1k-entry dict
+            # copy per delivered message).
+            return
         live = sim.node_states()
         state = GlobalState.from_snapshot(
             {addr: s for addr, (s, _) in live.items()},

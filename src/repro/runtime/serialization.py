@@ -91,8 +91,47 @@ def diff_size(old: Any, new: Any) -> int:
     Models the "diff" optimisation of Section 3.1: identical checkpoints
     cost a constant acknowledgement, otherwise we charge the compressed
     size of the new checkpoint (a conservative upper bound on a real delta
-    encoding).
+    encoding).  :func:`delta_size` is the real delta encoding.
     """
     if freeze(old) == freeze(new):
         return 16  # just a "nothing changed" header
     return compressed_size(new)
+
+
+def delta_fields(old: Any, new: Any) -> dict[str, Any] | None:
+    """Top-level dataclass fields of ``new`` that differ from ``old``.
+
+    The structural unit of the delta encoding: two checkpoints of the same
+    protocol state type usually differ in a couple of fields (a routing
+    table entry, a counter), so shipping only the changed fields keeps
+    control-plane bytes flat as the untouched bulk of the state grows.
+    Returns ``None`` when the values are not field-wise comparable (not
+    dataclasses, or of different types) and the caller must fall back to a
+    full transfer.
+    """
+    if not (dataclasses.is_dataclass(old) and not isinstance(old, type)):
+        return None
+    if type(old) is not type(new):
+        return None
+    changed: dict[str, Any] = {}
+    for f in dataclasses.fields(new):
+        if freeze(getattr(old, f.name)) != freeze(getattr(new, f.name)):
+            changed[f.name] = getattr(new, f.name)
+    return changed
+
+
+def delta_size(old: Any, new: Any) -> int:
+    """Bytes to ship ``new`` to a peer that already holds ``old`` under
+    delta encoding.
+
+    Identical values cost the constant acknowledgement header; otherwise
+    the charge is a header plus the compressed changed-field subset,
+    capped at the full compressed size (a pathological delta never costs
+    more than resending everything).
+    """
+    if freeze(old) == freeze(new):
+        return 16
+    changed = delta_fields(old, new)
+    if changed is None:
+        return compressed_size(new)
+    return min(16 + compressed_size(changed), compressed_size(new))

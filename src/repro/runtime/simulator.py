@@ -8,9 +8,16 @@ CrystalBall controller needs:
 * a per-node :class:`NodeHook` consulted before every handler execution
   (event filtering and the immediate safety check),
 * control-plane message routing (checkpoint requests/responses),
-* periodic controller ticks,
+* controller wakeups via :meth:`Simulator.schedule_at` (hooks arm exactly
+  the wakeups they need; the legacy polled per-node tick survives as a
+  compatibility adapter for hooks without ``on_attach``),
 * observers called after every executed event (live property monitoring,
   tracing, statistics).
+
+Scheduling is O(active): the heap only ever holds entries for armed
+timers, queued deliveries (a batched :class:`~repro.runtime.network.
+DeliveryPlan` occupies a single entry no matter how many messages it
+carries) and hook wakeups, so idle nodes consume zero scheduler cycles.
 """
 
 from __future__ import annotations
@@ -20,7 +27,14 @@ import itertools
 import random
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Callable, Mapping, Optional, Protocol as TypingProtocol
+from typing import (
+    Any,
+    Callable,
+    Mapping,
+    Optional,
+    Protocol as TypingProtocol,
+    Sequence,
+)
 
 from ..obs.context import ObsContext
 from .address import Address
@@ -35,7 +49,7 @@ from .events import (
 )
 from .logical_clock import LogicalClock
 from .messages import Message, Transport
-from .network import NetworkModel
+from .network import DeliveryPlan, NetworkModel
 from .protocol import Protocol
 from .state import NodeState
 from .transport import ConnectionTable
@@ -51,7 +65,14 @@ class FilterAction(Enum):
 
 
 class NodeHook(TypingProtocol):
-    """Interface the CrystalBall controller implements to plug into a node."""
+    """Interface the CrystalBall controller implements to plug into a node.
+
+    Hooks may additionally define ``on_attach(sim, node)``; when present,
+    :meth:`Simulator.attach_hook` calls it instead of arming the legacy
+    per-node tick, and the hook owns its wakeup schedule via
+    :meth:`Simulator.schedule_at` (see the scheduler-hook API notes in the
+    README's Scaling section).
+    """
 
     def on_tick(self, sim: "Simulator", node: "SimNode") -> None:
         """Periodic controller activity (snapshot gathering, model checking)."""
@@ -169,7 +190,10 @@ class Simulator:
         self.nodes: dict[Address, SimNode] = {}
         self._queue: list[_QueueEntry] = []
         self._seq = itertools.count()
+        #: inflight service messages by delivery id, maintained at
+        #: enqueue/deliver time so introspection never scans the heap.
         self._inflight: dict[int, Message] = {}
+        self._delivery_ids = itertools.count()
         self._last_tcp_delivery: dict[tuple[Address, Address], float] = {}
         self.observers: list[Callable[["Simulator", SimNode, Event], None]] = []
         self.trace: list[TraceRecord] = []
@@ -192,11 +216,21 @@ class Simulator:
         return node
 
     def attach_hook(self, addr: Address, hook: NodeHook) -> None:
-        """Attach a CrystalBall controller (or any hook) to a node and start
-        its periodic tick."""
+        """Attach a CrystalBall controller (or any hook) to a node.
+
+        Hooks defining ``on_attach(sim, node)`` arm their own wakeups via
+        :meth:`schedule_at` — the O(active) path, where a hook with nothing
+        to do costs no scheduler cycles.  Hooks without ``on_attach``
+        (third-party code written against the old contract) fall back to
+        the polled per-node tick, unchanged.
+        """
         node = self.nodes[addr]
         node.hook = hook
-        self._schedule(self.now + self.tick_interval, "tick", addr)
+        on_attach = getattr(hook, "on_attach", None)
+        if on_attach is not None:
+            on_attach(self, node)
+        else:
+            self._schedule(self.now + self.tick_interval, "tick", addr)
 
     def add_observer(self, observer: Callable[["Simulator", SimNode, Event], None]) -> None:
         """Register a callback invoked after every executed event."""
@@ -213,12 +247,36 @@ class Simulator:
         """Schedule a silent node reset at absolute time ``time``."""
         self._schedule(time, "reset", addr)
 
+    def schedule_at(self, time: float, fn: Callable[["Simulator"], None]) -> None:
+        """Schedule ``fn(sim)`` at absolute time ``time``.
+
+        The controller-facing wakeup interface: hooks and drivers arm
+        exactly the wakeups they need instead of being polled every tick.
+        """
+        self._schedule(time, "callback", fn)
+
     def schedule_callback(self, time: float, fn: Callable[["Simulator"], None]) -> None:
         """Schedule an arbitrary callback (used by churn and workloads)."""
-        self._schedule(time, "callback", fn)
+        self.schedule_at(time, fn)
+
+    def inject_app(self, addr: Address, call: str,
+                   payload: Optional[Mapping[str, Any]] = None) -> None:
+        """Execute an application call on ``addr`` immediately.
+
+        Workload drivers inject whole bursts from a single wakeup through
+        this, so a burst of N requests costs one heap entry, not N.
+        """
+        self._execute_event(AppEvent(node=addr, call=call,
+                                     payload=dict(payload or {})))
 
     def _schedule(self, time: float, kind: str, data: Any) -> None:
         heapq.heappush(self._queue, _QueueEntry(max(time, self.now), next(self._seq), kind, data))
+
+    def _schedule_delivery(self, time: float, message: Message) -> None:
+        did = next(self._delivery_ids)
+        if not message.control:
+            self._inflight[did] = message
+        self._schedule(time, "deliver", (did, message))
 
     # -- running -------------------------------------------------------------------
 
@@ -252,7 +310,11 @@ class Simulator:
     def _dispatch(self, entry: _QueueEntry) -> None:
         kind = entry.kind
         if kind == "deliver":
-            self._dispatch_delivery(entry.data)
+            did, message = entry.data
+            self._inflight.pop(did, None)
+            self._dispatch_delivery(message)
+        elif kind == "deliver_batch":
+            self._dispatch_batch(entry.data)
         elif kind == "timer":
             self._dispatch_timer(entry.data)
         elif kind == "app":
@@ -288,6 +350,16 @@ class Simulator:
         if node.clock.observe(message.checkpoint_number) and node.hook is not None:
             node.hook.on_forced_checkpoint(self, node)  # type: ignore[attr-defined]
         self._execute_event(MessageEvent(node=message.dst, message=message))
+
+    def _dispatch_batch(self, plan: "DeliveryPlan") -> None:
+        """Deliver every due message of a batched plan, then re-arm the
+        plan's single heap entry at its next delivery time."""
+        while not plan.exhausted and plan.next_time() <= self.now:
+            did, message = plan.pop_due()
+            self._inflight.pop(did, None)
+            self._dispatch_delivery(message)
+        if not plan.exhausted:
+            self._schedule(plan.next_time(), "deliver_batch", plan)
 
     def _dispatch_timer(self, data: tuple[Address, str, int]) -> None:
         addr, name, generation = data
@@ -331,7 +403,7 @@ class Simulator:
                 node.stats.events_delayed += 1
                 delay = 1.0
                 if isinstance(event, MessageEvent):
-                    self._schedule(self.now + delay, "deliver", event.message)
+                    self._schedule_delivery(self.now + delay, event.message)
                 elif isinstance(event, TimerEvent):
                     self.set_timer(node, event.timer, delay)
                 self._record_trace(node, event, "delayed")
@@ -422,7 +494,7 @@ class Simulator:
             plan = (self.network.plan_deliveries(stamped, latency, self.rng)
                     if self.network.interceptors else [latency])
             for delivery_latency in plan:
-                self._schedule(self.now + delivery_latency, "deliver", stamped)
+                self._schedule_delivery(self.now + delivery_latency, stamped)
             return
 
         # TCP semantics: verify / establish the connection first.
@@ -450,13 +522,68 @@ class Simulator:
             delivery = max(self.now + delivery_latency,
                            self._last_tcp_delivery.get(key, 0.0) + 1e-6)
             self._last_tcp_delivery[key] = delivery
-            self._schedule(delivery, "deliver", stamped)
+            self._schedule_delivery(delivery, stamped)
 
     def transmit(self, addr: Address, message: Message) -> None:
         """Send a message on behalf of ``addr`` (used by the CrystalBall
         controller for checkpoint requests and responses)."""
         node = self.nodes[addr]
         self._transmit(node, message)
+
+    def transmit_batch(self, addr: Address, messages: Sequence[Message]) -> None:
+        """Send many messages from ``addr`` under one batched delivery plan.
+
+        Accounting, loss and latency draws match sequential
+        :meth:`transmit` calls message for message (same RNG order), but
+        every surviving UDP copy shares a single ``deliver_batch`` heap
+        entry that cursors through the plan — a broadcast costs one
+        scheduler slot instead of one per recipient.  TCP messages take
+        the sequential path to preserve per-stream FIFO ordering.
+        """
+        node = self.nodes[addr]
+        deliveries: list[tuple[float, int, Message]] = []
+        for message in messages:
+            if message.transport is not Transport.UDP:
+                self._transmit(node, message)
+                continue
+            stamped = (message if message.control else
+                       message.with_checkpoint_number(node.clock.stamp()))
+            node.stats.messages_sent += 1
+            size = stamped.size_bytes()
+            if stamped.control:
+                node.stats.control_bytes_sent += size
+            else:
+                node.stats.service_bytes_sent += size
+            metrics = self.obs.metrics
+            if metrics is not None:
+                metrics.inc("runtime.messages_sent")
+                metrics.inc("runtime.control_bytes_sent" if stamped.control
+                            else "runtime.service_bytes_sent", size)
+            if self.obs.tracer is not None:
+                self.obs.tracer.send(
+                    self.now, stamped.src, stamped.msg_id, stamped.mtype,
+                    stamped.dst, stamped.transport.value, stamped.control,
+                    size,
+                )
+            if not self.network.reachable(stamped.src, stamped.dst):
+                self._record_drop(stamped, "unreachable")
+                continue
+            latency = self.network.latency(stamped.src, stamped.dst, self.rng)
+            loss = self.network.loss_probability(stamped.src, stamped.dst,
+                                                 self.rng)
+            if self.rng.random() < loss:
+                self._record_drop(stamped, "loss")
+                continue
+            plan = (self.network.plan_deliveries(stamped, latency, self.rng)
+                    if self.network.interceptors else [latency])
+            for delivery_latency in plan:
+                did = next(self._delivery_ids)
+                if not stamped.control:
+                    self._inflight[did] = stamped
+                deliveries.append((self.now + delivery_latency, did, stamped))
+        if deliveries:
+            batch = DeliveryPlan.from_deliveries(deliveries)
+            self._schedule(batch.next_time(), "deliver_batch", batch)
 
     def _record_drop(self, message: Message, reason: str) -> None:
         if self.obs.metrics is not None:
@@ -540,12 +667,14 @@ class Simulator:
         }
 
     def inflight_messages(self) -> list[Message]:
-        """Service messages currently queued for delivery."""
-        return [
-            entry.data
-            for entry in self._queue
-            if entry.kind == "deliver" and not entry.data.control
-        ]
+        """Service messages currently queued for delivery, in enqueue
+        order.  Served from the inflight index maintained at
+        enqueue/deliver time — O(inflight), never a heap scan."""
+        return list(self._inflight.values())
+
+    def inflight_service_count(self) -> int:
+        """Number of service messages currently queued for delivery."""
+        return len(self._inflight)
 
     def total_service_bytes(self) -> int:
         return sum(n.stats.service_bytes_sent for n in self.nodes.values())

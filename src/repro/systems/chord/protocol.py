@@ -33,6 +33,8 @@ FIND_PRED_REPLY = "FindPredReply"
 UPDATE_PRED = "UpdatePred"
 GET_PRED = "GetPred"
 GET_PRED_REPLY = "GetPredReply"
+LOOKUP = "Lookup"
+LOOKUP_REPLY = "LookupReply"
 
 JOIN_TIMER = "join_retry"
 STABILIZE_TIMER = "stabilize"
@@ -105,6 +107,11 @@ class Chord(Protocol):
                    payload: Mapping[str, Any]) -> None:
         if call == "join":
             self._try_join(ctx, state)
+        elif call == "lookup":
+            # The DHT's service operation, driven by the "lookups" workload.
+            if state.joined:
+                key = int(payload.get("key", 0)) % (1 << self.config.id_bits)
+                self._route_lookup(ctx, state, key, state.addr, hops=0)
 
     def handle_timer(self, ctx: HandlerContext, state: ChordState, timer: str) -> None:
         if timer == JOIN_TIMER:
@@ -136,10 +143,45 @@ class Chord(Protocol):
             UPDATE_PRED: self._on_update_pred,
             GET_PRED: self._on_get_pred,
             GET_PRED_REPLY: self._on_get_pred_reply,
+            LOOKUP: self._on_lookup,
         }
         handler = handlers.get(message.mtype)
         if handler is not None:
             handler(ctx, state, message)
+
+    # -- lookups (the service operation under heavy traffic) ----------------------
+
+    def _on_lookup(self, ctx: HandlerContext, state: ChordState,
+                   message: Message) -> None:
+        if not state.joined:
+            return
+        self._route_lookup(ctx, state, int(message.get("key", 0)),
+                           message.get("origin", message.src),
+                           int(message.get("hops", 0)))
+
+    def _route_lookup(self, ctx: HandlerContext, state: ChordState, key: int,
+                      origin: Address, hops: int) -> None:
+        """Route a key lookup greedily along the successor pointers.
+
+        Deliberately stateless: a million-lookup workload must not change
+        any node's checkpointed state (checkpoints stay the same size and
+        deep checks stay unaffected by traffic volume).  The ring may be
+        inconsistent — that is the point of the system — so routing gives
+        up after ``2 * id_bits`` hops instead of looping forever.
+        """
+        if hops > 2 * self.config.id_bits:
+            return
+        successor = state.successor()
+        succ_id = state.id_of(successor) if successor is not None else None
+        if successor is None or succ_id is None or successor == state.addr \
+                or in_interval(key, state.node_id, succ_id,
+                               bits=self.config.id_bits):
+            owner = successor if successor is not None else state.addr
+            ctx.send(origin, LOOKUP_REPLY,
+                     {"key": key, "owner": owner, "hops": hops})
+        else:
+            ctx.send(successor, LOOKUP,
+                     {"key": key, "origin": origin, "hops": hops + 1})
 
     def _on_find_pred(self, ctx: HandlerContext, state: ChordState,
                       message: Message) -> None:

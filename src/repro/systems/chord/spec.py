@@ -17,8 +17,9 @@ from ...api.registry import (
 from ...mc.search import SearchBudget
 from ...mc.transition import TransitionConfig
 from ...runtime.address import Address
+from ...workload import TrafficSpec, WorkloadSpec
 from .properties import ALL_PROPERTIES
-from .protocol import Chord, ChordConfig
+from .protocol import LOOKUP_REPLY, Chord, ChordConfig
 from .scenarios import Figure10Scenario, Figure11Scenario
 
 #: ChordConfig fields accepted as experiment options.
@@ -38,6 +39,12 @@ def _protocol_factory(addresses: Sequence[Address],
     bootstrap_index = int(options.get("bootstrap_index", 0))
     config = ChordConfig(bootstrap=(addresses[bootstrap_index],), **kwargs)
     return lambda: Chord(config)
+
+
+def _make_lookup(rng, key, addresses):
+    """One DHT lookup for ``key`` issued from a random live member."""
+    origin = addresses[int(rng.random() * len(addresses)) % len(addresses)]
+    return origin, "lookup", {"key": key}
 
 
 def _run_figure(scenario_cls, name: str, *, resets: bool):
@@ -90,6 +97,17 @@ SPEC = register_system(SystemSpec(
             run=make_fault_scenario_runner(
                 system="chord", faults=("link-flap",),
                 default_nodes=6, default_duration=240.0),
+        ),
+    },
+    workloads={
+        "lookups": WorkloadSpec(
+            name="lookups",
+            description="Open-loop DHT key lookups from random members "
+                        "(stateless routing along successor pointers)",
+            make_request=_make_lookup,
+            traffic=TrafficSpec(rate=200.0, burst=20, keys=4096,
+                                key_distribution="zipf", start=60.0),
+            completion_mtypes=frozenset({LOOKUP_REPLY}),
         ),
     },
     default_nodes=6,

@@ -17,6 +17,7 @@ from ...api.registry import (
 from ...mc.search import SearchBudget
 from ...mc.transition import TransitionConfig
 from ...runtime.address import Address
+from ...workload import TrafficSpec, WorkloadSpec
 from .properties import ALL_PROPERTIES
 from .protocol import CrdtConfig, CrdtReplica
 from .scenarios import ConcurrentOpsScenario
@@ -78,6 +79,17 @@ def _prepare_concurrent_ops(fixed: bool):
     return scenario.protocol, scenario.global_state()
 
 
+def _make_set_op(rng, key, addresses):
+    """60/30/10 add/remove/inc mix against a random replica."""
+    replica = addresses[int(rng.random() * len(addresses)) % len(addresses)]
+    draw = rng.random()
+    if draw < 0.6:
+        return replica, "add", {"elem": f"e{key}"}
+    if draw < 0.9:
+        return replica, "remove", {"elem": f"e{key}"}
+    return replica, "inc", {"amount": 1}
+
+
 SPEC = register_system(SystemSpec(
     name="crdtset",
     summary="Op-based OR-Set + PN-Counter replicas with anti-entropy "
@@ -118,6 +130,16 @@ SPEC = register_system(SystemSpec(
                 system="crdtset", faults=("delay", "duplicate"),
                 default_nodes=4, default_duration=240.0,
                 options={"lww": True}),
+        ),
+    },
+    workloads={
+        "set-ops": WorkloadSpec(
+            name="set-ops",
+            description="Open-loop add/remove/inc mix on random replicas "
+                        "(anti-entropy carries the operations outward)",
+            make_request=_make_set_op,
+            traffic=TrafficSpec(rate=50.0, burst=10, keys=128,
+                                key_distribution="uniform", start=10.0),
         ),
     },
     default_nodes=4,

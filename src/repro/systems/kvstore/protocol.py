@@ -109,6 +109,16 @@ class KvStore(Protocol):
 
     # -- client script -----------------------------------------------------------
 
+    def handle_app(self, ctx: HandlerContext, state: KvState, call: str,
+                   payload: Mapping[str, Any]) -> None:
+        """External client operations (the "get-put" workload): the same
+        coordinator paths the embedded client script drives."""
+        if call == "put":
+            self._do_put(ctx, state, str(payload.get("key", "k0")),
+                         payload.get("value"))
+        elif call == "get":
+            self._do_get(ctx, state, str(payload.get("key", "k0")))
+
     def handle_timer(self, ctx: HandlerContext, state: KvState,
                      timer: str) -> None:
         if timer == CLIENT_TIMER:

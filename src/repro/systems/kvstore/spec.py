@@ -17,8 +17,9 @@ from ...api.registry import (
 from ...mc.search import SearchBudget
 from ...mc.transition import TransitionConfig
 from ...runtime.address import Address
+from ...workload import TrafficSpec, WorkloadSpec
 from .properties import ALL_PROPERTIES
-from .protocol import KvConfig, KvStore
+from .protocol import READ_REPLY, KvConfig, KvStore
 from .scenarios import StaleReadScenario
 
 #: KvConfig fields accepted as experiment options.
@@ -70,6 +71,16 @@ def _collect(sim) -> dict:
             "per_node": per_node}
 
 
+def _make_get_put(rng, key, addresses):
+    """70/30 get/put mix against a random coordinator."""
+    coordinator = addresses[int(rng.random() * len(addresses))
+                            % len(addresses)]
+    if rng.random() < 0.7:
+        return coordinator, "get", {"key": f"k{key}"}
+    return coordinator, "put", {"key": f"k{key}",
+                                "value": f"w{key}.{rng.randrange(1 << 16)}"}
+
+
 def _prepare_stale_read(fixed: bool):
     scenario = StaleReadScenario.build(fixed=fixed)
     return scenario.protocol, scenario.global_state()
@@ -118,6 +129,18 @@ SPEC = register_system(SystemSpec(
                 system="kvstore", faults=("partition",),
                 default_nodes=5, default_duration=240.0,
                 options={"ops_per_node": 18, "reconcile_period": 45.0}),
+        ),
+    },
+    workloads={
+        "get-put": WorkloadSpec(
+            name="get-put",
+            description="Open-loop 70/30 get/put mix against random "
+                        "coordinators (quorum or optimistic reads per "
+                        "the experiment's options)",
+            make_request=_make_get_put,
+            traffic=TrafficSpec(rate=100.0, burst=10, keys=64,
+                                key_distribution="hotspot", start=20.0),
+            completion_mtypes=frozenset({READ_REPLY}),
         ),
     },
     default_nodes=5,

@@ -16,6 +16,7 @@ from ...faults.types import CrashRestart, MessageDelay
 from ...mc.search import SearchBudget
 from ...mc.transition import TransitionConfig
 from ...runtime.address import Address
+from ...workload import TrafficSpec, WorkloadSpec
 from .properties import ALL_PROPERTIES
 from .protocol import Paxos, PaxosConfig
 from .scenarios import Figure13Scenario
@@ -74,6 +75,12 @@ def _run_figure13(bug: int):
     return run
 
 
+def _make_submission(rng, key, addresses):
+    """Submit a candidate value to a random node's proposer role."""
+    target = addresses[int(rng.random() * len(addresses)) % len(addresses)]
+    return target, "submit", {"value": int(key)}
+
+
 SPEC = register_system(SystemSpec(
     name="paxos",
     summary="Single-instance Paxos (Section 5.4.2): injected consensus bugs",
@@ -122,6 +129,16 @@ SPEC = register_system(SystemSpec(
                                  min_extra=0.5, max_extra=2.0),
                 ],
                 default_nodes=5, default_duration=60.0),
+        ),
+    },
+    workloads={
+        "submissions": WorkloadSpec(
+            name="submissions",
+            description="Open-loop value submissions to random acceptors "
+                        "(repeated proposals stress the promise paths)",
+            make_request=_make_submission,
+            traffic=TrafficSpec(rate=20.0, burst=5, keys=256,
+                                key_distribution="uniform", start=5.0),
         ),
     },
     default_nodes=3,

@@ -1,0 +1,35 @@
+"""First-class workload/traffic API (the heavy-traffic scale axis).
+
+Public surface:
+
+* :class:`TrafficSpec` — rate / burst / key-distribution / duration shape
+  of an open-loop request stream;
+* :class:`WorkloadSpec` — a named, registrable workload binding a traffic
+  shape to a system-specific request factory;
+* :class:`OpenLoopDriver` — the generator that runs one workload against a
+  live simulation (one scheduler wakeup per burst);
+* :class:`KeySampler` — seeded key-popularity sampling shared by drivers.
+
+Named workloads are registered per system on
+:class:`~repro.api.registry.SystemSpec` and selected with
+``Experiment.workload(...)``, ``python -m repro run --workload`` or the
+campaign ``workloads=`` axis.
+"""
+
+from .driver import OpenLoopDriver
+from .spec import (
+    KEY_DISTRIBUTIONS,
+    KeySampler,
+    RequestFactory,
+    TrafficSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "KEY_DISTRIBUTIONS",
+    "KeySampler",
+    "OpenLoopDriver",
+    "RequestFactory",
+    "TrafficSpec",
+    "WorkloadSpec",
+]

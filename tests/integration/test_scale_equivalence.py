@@ -1,0 +1,59 @@
+"""Committed golden digests: the scaled runtime (active-set scheduler,
+batched delivery, inflight index) must produce bit-identical reports.
+
+The digests in ``tests/_golden/report_digests_fast.json`` were captured
+from the per-node-tick runtime before the O(active) scheduler landed.
+Any refactor of the event loop, network batching or checkpoint path that
+changes (time, seq) allocation order — and therefore event order — shows
+up here as a digest mismatch on at least one system.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api import Experiment
+from repro.mc import SearchBudget
+
+GOLDEN = json.loads(
+    (Path(__file__).parent.parent / "_golden"
+     / "report_digests_fast.json").read_text())
+
+#: The exact configurations the goldens were captured with.
+CONFIGS = {
+    "randtree": dict(nodes=24, duration=50.0, options={}),
+    "chord": dict(nodes=24, duration=50.0, options={}),
+    "paxos": dict(nodes=24, duration=40.0, options={}),
+    "bulletprime": dict(nodes=24, duration=50.0, options={"block_count": 3}),
+    "crdtset": dict(nodes=24, duration=50.0, options={}),
+    "kvstore": dict(nodes=24, duration=50.0, options={"ops_per_node": 2}),
+}
+SEED = 3
+
+
+def _digest(system):
+    tuning = CONFIGS[system]
+    report = (Experiment(system)
+              .nodes(tuning["nodes"])
+              .duration(tuning["duration"])
+              .churn(False)
+              .crystalball("debug",
+                           budget=SearchBudget(max_states=16, max_depth=2))
+              .faults("chaos")
+              .options(**tuning["options"])
+              .seed(SEED)
+              .run())
+    data = report.to_dict()
+    data.pop("wall_clock_seconds")
+    blob = json.dumps(data, sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+@pytest.mark.parametrize("system", sorted(CONFIGS))
+def test_report_digest_matches_committed_golden(system):
+    assert _digest(system) == GOLDEN[f"{system}:{SEED}"], (
+        f"{system} report diverged from the committed golden — the "
+        f"scaled runtime is no longer bit-identical to the per-node-tick "
+        f"baseline for this seed")
