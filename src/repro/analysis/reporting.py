@@ -42,7 +42,8 @@ def render_run_report(report: Any) -> str:
     data = report.to_dict()
     lines = [
         f"system: {data['system']}"
-        + (f"  scenario: {data['scenario']}" if data.get("scenario") else ""),
+        + (f"  scenario: {data['scenario']}" if data.get("scenario") else "")
+        + (f"  backend: {data['backend']}" if data.get("backend") else ""),
         f"mode: {data['mode']}  seed: {data['seed']}  "
         f"nodes: {data['node_count']}  "
         f"simulated: {data['simulated_seconds']:.1f}s  "

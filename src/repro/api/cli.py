@@ -142,6 +142,13 @@ def build_parser() -> argparse.ArgumentParser:
                           "seconds)")
     run.add_argument("--workload-duration", type=float, default=None,
                      help="override the stream's length (simulated seconds)")
+    run.add_argument("--backend", default=None,
+                     help="execution backend: sim (default, simulated "
+                          "transport) or tcp (real asyncio sockets)")
+    run.add_argument("--backend-option", metavar="KEY=VALUE",
+                     type=_parse_option, action="append", default=[],
+                     help="backend-specific option, e.g. host=127.0.0.1 "
+                          "for tcp (repeatable; needs --backend)")
     run.add_argument("--option", metavar="KEY=VALUE", type=_parse_option,
                      action="append", default=[],
                      help="system/scenario-specific option (repeatable)")
@@ -191,8 +198,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=_parse_axis,
         help="axis values, comma-separated (repeatable): systems=all, "
              "presets=partition,chaos, seeds=0-7, modes=off,steering, "
-             "scenarios=live, workloads=lookups,none; preset combos join "
-             "with + (presets=partition+delay)")
+             "scenarios=live, workloads=lookups,none, backends=sim,tcp; "
+             "preset combos join with + (presets=partition+delay)")
     campaign.add_argument("--jobs", type=int, default=None,
                           help="worker processes (default: os.cpu_count())")
     campaign.add_argument("--out", metavar="PATH", default=None,
@@ -402,6 +409,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     elif any(value is not None for value in workload_overrides.values()):
         print("error: --workload-* overrides need --workload",
               file=sys.stderr)
+        return 2
+
+    if args.backend is not None:
+        try:
+            experiment.backend(args.backend, **dict(args.backend_option))
+        except ValueError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+    elif args.backend_option:
+        print("error: --backend-option needs --backend", file=sys.stderr)
         return 2
 
     if args.option:

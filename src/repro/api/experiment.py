@@ -27,6 +27,7 @@ import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Optional, Sequence, Union
 
+from ..backends import backend_names, make_backend
 from ..core.consequence import consequence_prediction
 from ..core.controller import (
     CheckingPolicy,
@@ -82,12 +83,14 @@ def build_run_report(
     nemesis: Optional[Nemesis] = None,
     metrics: Optional[MetricsRegistry] = None,
     workload: Optional[dict] = None,
+    backend: str = "sim",
 ) -> RunReport:
     """Assemble a :class:`RunReport` from the live objects of one run."""
     return RunReport(
         system=system,
         scenario=scenario,
         mode=mode.value,
+        backend=backend,
         seed=seed,
         node_count=len(sim.nodes),
         simulated_seconds=sim.now,
@@ -292,6 +295,12 @@ class LiveRun:
     options: Mapping[str, Any] = field(default_factory=dict)
     system_name: str = "custom"
     scenario_name: Optional[str] = None
+    #: execution backend: "sim" (default) or "tcp" (real asyncio sockets);
+    #: see :mod:`repro.backends`.
+    backend: str = "sim"
+    #: backend-specific settings (e.g. host/port_base for "tcp"),
+    #: validated by the backend class.
+    backend_options: Mapping[str, Any] = field(default_factory=dict)
     #: Structured tracing: a JSONL output path or a ready
     #: :class:`~repro.obs.Tracer` instance; None (default) disables it.
     trace: Optional[Union[str, Tracer]] = None
@@ -320,13 +329,14 @@ class LiveRun:
         addresses = self.addresses()
         network = self.network or NetworkModel()
         obs = self._build_obs()
-        sim = Simulator(self.protocol_factory, network, seed=self.seed,
-                        tick_interval=self.tick_interval, obs=obs)
+        sim = make_backend(self.backend, self.protocol_factory, network,
+                           seed=self.seed, tick_interval=self.tick_interval,
+                           obs=obs, options=self.backend_options)
         if obs.tracer is not None:
             obs.tracer.meta(
                 system=self.system_name, scenario=self.scenario_name,
                 mode=self.crystalball_mode.value, seed=self.seed,
-                nodes=self.node_count)
+                nodes=self.node_count, backend=self.backend)
         for addr in addresses:
             sim.add_node(addr)
 
@@ -398,6 +408,9 @@ class LiveRun:
         obs.close()
 
         outcome = self.collect(sim) if self.collect is not None else {}
+        wire_report = getattr(sim, "wire_report", None)
+        if wire_report is not None:
+            outcome = {**outcome, "wire": wire_report()}
         return build_run_report(
             system=self.system_name,
             scenario=self.scenario_name,
@@ -412,6 +425,7 @@ class LiveRun:
             nemesis=nemesis,
             metrics=obs.metrics,
             workload=driver.report() if driver is not None else None,
+            backend=self.backend,
         )
 
 
@@ -451,6 +465,8 @@ class Experiment:
         self._workload_overrides: dict[str, Any] = {}
         self._trace: Optional[Union[str, Tracer]] = None
         self._metrics = False
+        self._backend = "sim"
+        self._backend_options: dict[str, Any] = {}
         #: builder knobs the caller set explicitly (used to forward what a
         #: scripted scenario can honor and warn about what it cannot).
         self._explicit: set[str] = set()
@@ -688,6 +704,30 @@ class Experiment:
         self._explicit.add("workload")
         return self
 
+    def backend(self, name: str, **options: Any) -> "Experiment":
+        """Select the execution backend for the live run.
+
+        ``"sim"`` (the default) is the discrete-event simulator; ``"tcp"``
+        runs every node behind a real asyncio TCP socket, shipping service
+        and control messages — checkpoints included — as length-prefixed
+        compact-bytes frames (see :mod:`repro.backends`).  The deterministic
+        coordinator keeps seeded runs equivalent across backends.  Keyword
+        arguments are backend-specific options, e.g.::
+
+            Experiment("randtree").backend("tcp", host="127.0.0.1")
+        """
+        known = backend_names()
+        if name not in known:
+            raise ValueError(
+                f"unknown backend {name!r} (one of: {', '.join(known)})")
+        self._backend = name
+        self._backend_options = dict(options)
+        if name != "sim" or options:
+            self._explicit.add("backend")
+        else:
+            self._explicit.discard("backend")
+        return self
+
     def scenario(self, name: str) -> "Experiment":
         """Run the named scripted scenario instead of a generic live run."""
         self._spec.scenario(name)  # fail fast on unknown names
@@ -810,7 +850,8 @@ class Experiment:
             "properties", "transition", "immediate_check",
             "check_filter_safety", "checker_nodes", "faults",
             "incremental_monitor", "trace", "metrics", "workload",
-            "checking", "delta_checkpoints", "batched_control_plane"}
+            "checking", "delta_checkpoints", "batched_control_plane",
+            "backend"}
 
         def forward(setting: str, key: str, value: Any) -> None:
             if key in named:
@@ -877,6 +918,8 @@ class Experiment:
             system_name=self._spec.name,
             trace=self._trace,
             metrics=self._metrics,
+            backend=self._backend,
+            backend_options=dict(self._backend_options),
         )
         return live.run()
 
@@ -888,6 +931,7 @@ class Experiment:
               properties: Optional[
                   Sequence[Union[str, Sequence[str], None]]] = None,
               workloads: Optional[Sequence[Optional[str]]] = None,
+              backends: Optional[Sequence[str]] = None,
               jobs: Optional[int] = None,
               out: Optional[Any] = None,
               resume: bool = False,
@@ -982,6 +1026,13 @@ class Experiment:
                     "WorkloadSpec; it is dropped from the sweep",
                     UserWarning, stacklevel=2)
             workload_axis = list(workloads)
+        backend_axis = (list(backends) if backends is not None
+                        else [self._backend])
+        if self._backend_options:
+            warnings.warn(
+                "sweep() rebuilds each cell from plain data and drops the "
+                "builder's backend options; cells run the backend with its "
+                "defaults", UserWarning, stacklevel=2)
         # "metrics" carries implicitly: campaign workers always collect
         # metrics into each cell's report.  A trace file cannot be shared
         # across worker processes, so it is dropped with a warning.
@@ -1008,6 +1059,7 @@ class Experiment:
             properties_exclude=tuple(self._property_exclude),
             workloads=workload_axis,
             workload_overrides=dict(self._workload_overrides),
+            backends=backend_axis,
             nodes=self._nodes if "nodes" in self._explicit else None,
             duration=(self._duration if "duration" in self._explicit
                       else None),

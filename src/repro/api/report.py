@@ -58,6 +58,8 @@ class RunReport:
     system: str
     scenario: Optional[str] = None
     mode: str = "off"
+    #: execution backend the run used ("sim" or "tcp"; see repro.backends).
+    backend: str = "sim"
     seed: int = 0
     node_count: int = 0
     simulated_seconds: float = 0.0
@@ -234,6 +236,10 @@ class RunReport:
         # before the workload API existed compare bit-identically.
         if self.workload:
             data["workload"] = to_jsonable(self.workload)
+        # Same contract for the backend field: sim runs (the universe of
+        # reports serialized before backends existed) omit it.
+        if self.backend != "sim":
+            data["backend"] = self.backend
         return data
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:

@@ -66,6 +66,8 @@ def run_one(run: RunSpec) -> RunReport:
         experiment.options(**dict(run.options))
     if run.workload is not None:
         experiment.workload(run.workload, **dict(run.workload_overrides))
+    if run.backend != "sim":
+        experiment.backend(run.backend)
     # Metrics are always on for live cells: counters are deterministic and
     # feed the aggregate's metrics rollup (cheap — no tracing).  Scripted
     # scenarios build their own simulators and cannot honor the setting.

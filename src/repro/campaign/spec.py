@@ -98,6 +98,8 @@ class RunSpec:
     workload: Optional[str] = None
     #: traffic-shape overrides (rate/burst/keys/...) applied to it.
     workload_overrides: tuple[tuple[str, Any], ...] = ()
+    #: execution backend of the cell ("sim" or "tcp"; see repro.backends).
+    backend: str = "sim"
 
     @property
     def properties_label(self) -> str:
@@ -108,10 +110,10 @@ class RunSpec:
     def run_id(self) -> str:
         """Stable identity of this cell, independent of execution order.
 
-        The ``props=`` / ``wl=`` segments are only present for a
-        non-default property selection / a workload-driven cell, so result
-        stores written before those axes existed keep matching their run
-        ids.
+        The ``props=`` / ``wl=`` / ``backend=`` segments are only present
+        for a non-default property selection / a workload-driven cell / a
+        non-sim backend, so result stores written before those axes
+        existed keep matching their run ids.
         """
         parts = [
             self.system,
@@ -124,6 +126,8 @@ class RunSpec:
             parts.append(f"props={self.properties_label}")
         if self.workload is not None:
             parts.append(f"wl={self.workload}")
+        if self.backend != "sim":
+            parts.append(f"backend={self.backend}")
         return ":".join(parts)
 
     def to_dict(self) -> dict[str, Any]:
@@ -147,6 +151,7 @@ class RunSpec:
             "options": dict(self.options),
             "workload": self.workload,
             "workload_overrides": dict(self.workload_overrides),
+            "backend": self.backend,
         }
 
     @classmethod
@@ -172,6 +177,7 @@ class RunSpec:
             workload=data.get("workload"),
             workload_overrides=tuple(sorted(
                 (data.get("workload_overrides") or {}).items())),
+            backend=data.get("backend", "sim"),
         )
 
 
@@ -198,7 +204,9 @@ class CampaignSpec:
     * ``workloads`` — registered workload names driven through live cells,
       ``None`` / ``"none"`` for a workload-free cell (default: none).
       ``workload_overrides`` (rate/burst/keys/distribution/start/duration)
-      apply to every workload-driven cell.
+      apply to every workload-driven cell;
+    * ``backends`` — execution backends for live cells (``"sim"`` /
+      ``"tcp"``, see :mod:`repro.backends`; default: sim only).
 
     Shared settings: ``nodes``, ``duration`` (scalar, or per-system via
     ``durations``), ``churn`` (off by default so the named faults are the
@@ -215,6 +223,7 @@ class CampaignSpec:
     properties_exclude: Sequence[str] = ()
     workloads: Sequence[Optional[str]] = (None,)
     workload_overrides: Mapping[str, Any] = field(default_factory=dict)
+    backends: Sequence[str] = ("sim",)
     nodes: Optional[int] = None
     duration: Optional[float] = None
     durations: Mapping[str, float] = field(default_factory=dict)
@@ -241,6 +250,7 @@ class CampaignSpec:
                 for value in self.properties
             ],
             "workloads": [workload or "none" for workload in self.workloads],
+            "backends": list(self.backends),
         }
 
     def _system_names(self) -> list[str]:
@@ -343,6 +353,27 @@ class CampaignSpec:
                 "(scenarios script their own request schedules); sweep "
                 "workloads over live runs"
             )
+        from ..backends import backend_names
+
+        known_backends = set(backend_names())
+        for backend in self.backends:
+            if backend not in known_backends:
+                raise ValueError(
+                    f"unknown backend {backend!r} (registered backends: "
+                    f"{', '.join(sorted(known_backends))})"
+                )
+        if any(name is not None for name in scenarios) and any(
+            backend != "sim" for backend in self.backends
+        ):
+            # Scenario runners script their own simulators; a backend axis
+            # crossed with them would be silently ignored while still
+            # labelling the records — refuse like the other live-only axes.
+            raise ValueError(
+                "non-sim backends cannot be combined with scripted "
+                "scenarios (scenarios build their own runtime); sweep "
+                "backends over live runs"
+            )
+
         known_overrides = {"rate", "burst", "keys", "distribution",
                            "start", "duration"}
         unknown_overrides = set(self.workload_overrides) - known_overrides
@@ -383,36 +414,38 @@ class CampaignSpec:
                     for mode in modes:
                         for property_combo in property_combos:
                             for workload in workloads:
-                                for seed in self.seeds:
-                                    runs.append(
-                                        RunSpec(
-                                            system=system,
-                                            scenario=scenario,
-                                            mode=mode,
-                                            seed=int(seed),
-                                            faults=combo,
-                                            fault_seed=self.fault_seed,
-                                            fault_start_after=self.fault_start_after,
-                                            properties=property_combo,
-                                            properties_exclude=(
-                                                exclude
-                                                if property_combo is not None
-                                                else ()
-                                            ),
-                                            nodes=self.nodes,
-                                            duration=self._duration_for(system),
-                                            churn=self.churn,
-                                            churn_interval=self.churn_interval,
-                                            network=network,
-                                            options=options,
-                                            workload=workload,
-                                            workload_overrides=(
-                                                overrides
-                                                if workload is not None
-                                                else ()
-                                            ),
+                                for backend in self.backends:
+                                    for seed in self.seeds:
+                                        runs.append(
+                                            RunSpec(
+                                                system=system,
+                                                scenario=scenario,
+                                                mode=mode,
+                                                seed=int(seed),
+                                                faults=combo,
+                                                fault_seed=self.fault_seed,
+                                                fault_start_after=self.fault_start_after,
+                                                properties=property_combo,
+                                                properties_exclude=(
+                                                    exclude
+                                                    if property_combo is not None
+                                                    else ()
+                                                ),
+                                                nodes=self.nodes,
+                                                duration=self._duration_for(system),
+                                                churn=self.churn,
+                                                churn_interval=self.churn_interval,
+                                                network=network,
+                                                options=options,
+                                                workload=workload,
+                                                workload_overrides=(
+                                                    overrides
+                                                    if workload is not None
+                                                    else ()
+                                                ),
+                                                backend=backend,
+                                            )
                                         )
-                                    )
         return runs
 
 
@@ -440,8 +473,8 @@ def parse_axes(pairs: Mapping[str, str]) -> dict[str, Any]:
     """Turn CLI ``--axes key=values`` pairs into CampaignSpec axis kwargs.
 
     Keys: ``systems``, ``scenarios``, ``presets`` (alias ``faults``),
-    ``seeds``, ``modes``, ``properties``, ``workloads``.  Values are
-    comma-separated;
+    ``seeds``, ``modes``, ``properties``, ``workloads``, ``backends``.
+    Values are comma-separated;
     ``all`` expands to every registered system / fault preset; ``none``
     gives a fault-free or live-only axis value; combos use ``+``
     (``partition+delay``, ``randtree.*+chord.*``).  Properties values are
@@ -488,9 +521,11 @@ def parse_axes(pairs: Mapping[str, str]) -> dict[str, Any]:
             kwargs["workloads"] = [
                 None if value == "none" else value for value in values
             ]
+        elif key == "backends":
+            kwargs["backends"] = values
         else:
             raise ValueError(
                 f"unknown campaign axis {key!r} (axes: systems, scenarios, "
-                f"presets, seeds, modes, properties, workloads)"
+                f"presets, seeds, modes, properties, workloads, backends)"
             )
     return kwargs

@@ -109,18 +109,22 @@ class Tracer:
         mode: str,
         seed: int,
         nodes: int,
+        backend: str = "sim",
     ) -> None:
-        self.emit(
-            {
-                "kind": "meta",
-                "v": SCHEMA_VERSION,
-                "system": system,
-                "scenario": scenario,
-                "mode": mode,
-                "seed": seed,
-                "nodes": nodes,
-            }
-        )
+        record = {
+            "kind": "meta",
+            "v": SCHEMA_VERSION,
+            "system": system,
+            "scenario": scenario,
+            "mode": mode,
+            "seed": seed,
+            "nodes": nodes,
+        }
+        # Traces written before execution backends existed have no key;
+        # sim runs keep matching them byte for byte.
+        if backend != "sim":
+            record["backend"] = backend
+        self.emit(record)
 
     def event(
         self,

@@ -71,6 +71,23 @@ def estimate_size(value: Any) -> int:
         return len(repr(value).encode("utf-8"))
 
 
+def to_compact_bytes(value: Any) -> bytes:
+    """The compact-bytes encoding: pickle + zlib.
+
+    This is the repository's one wire/checkpoint byte format: the size
+    accounting below charges for it, and the deployed-mode transport
+    (:mod:`repro.backends.wire`) ships messages — checkpoint payloads
+    included — as exactly these bytes inside length-prefixed frames.
+    """
+    raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    return zlib.compress(raw, level=6)
+
+
+def from_compact_bytes(blob: bytes) -> Any:
+    """Decode a :func:`to_compact_bytes` payload back into the value."""
+    return pickle.loads(zlib.decompress(blob))
+
+
 def compressed_size(value: Any) -> int:
     """Estimate the size of ``value`` after checkpoint compression.
 
@@ -79,10 +96,9 @@ def compressed_size(value: Any) -> int:
     behaviour on the small, repetitive state dumps involved.
     """
     try:
-        raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return len(to_compact_bytes(value))
     except Exception:
-        raw = repr(value).encode("utf-8")
-    return len(zlib.compress(raw, level=6))
+        return len(zlib.compress(repr(value).encode("utf-8"), level=6))
 
 
 def diff_size(old: Any, new: Any) -> int:

@@ -230,7 +230,20 @@ class Simulator:
         if on_attach is not None:
             on_attach(self, node)
         else:
-            self._schedule(self.now + self.tick_interval, "tick", addr)
+            # The compat adapter is itself an owned wakeup: a schedule_at
+            # closure that polls on_tick and re-arms while a hook is
+            # attached, exactly mirroring the retired "tick" queue kind
+            # (same _schedule calls, so identical (time, seq) allocation).
+            def wakeup(sim: "Simulator") -> None:
+                polled = sim.nodes.get(addr)
+                if polled is None:
+                    return
+                if polled.alive and polled.hook is not None:
+                    polled.hook.on_tick(sim, polled)
+                if polled.hook is not None:
+                    sim.schedule_at(sim.now + sim.tick_interval, wakeup)
+
+            self.schedule_at(self.now + self.tick_interval, wakeup)
 
     def add_observer(self, observer: Callable[["Simulator", SimNode, Event], None]) -> None:
         """Register a callback invoked after every executed event."""
@@ -323,8 +336,6 @@ class Simulator:
             self._perform_reset(entry.data)
         elif kind == "connerr":
             self._execute_event(entry.data)
-        elif kind == "tick":
-            self._dispatch_tick(entry.data)
         elif kind == "callback":
             entry.data(self)
         else:  # pragma: no cover - defensive
@@ -370,15 +381,6 @@ class Simulator:
             return  # cancelled or re-armed since
         del node.armed_timers[name]
         self._execute_event(TimerEvent(node=addr, timer=name))
-
-    def _dispatch_tick(self, addr: Address) -> None:
-        node = self.nodes.get(addr)
-        if node is None:
-            return
-        if node.alive and node.hook is not None:
-            node.hook.on_tick(self, node)
-        if node.hook is not None:
-            self._schedule(self.now + self.tick_interval, "tick", addr)
 
     # -- event execution -------------------------------------------------------------
 

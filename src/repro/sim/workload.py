@@ -95,6 +95,9 @@ class OverlayWorkload:
     tick_interval: float = 10.0
     max_events: int = 500_000
     address_start: int = 1
+    #: execution backend ("sim" or "tcp"); the shim shares LiveRun's path,
+    #: so even legacy callers can deploy over real sockets.
+    backend: str = "sim"
 
     def __post_init__(self) -> None:
         warnings.warn(
@@ -123,6 +126,7 @@ class OverlayWorkload:
             tick_interval=self.tick_interval,
             max_events=self.max_events,
             address_start=self.address_start,
+            backend=self.backend,
         ).run()
         return WorkloadResult(simulator=report.simulator,
                               controllers=report.controllers,

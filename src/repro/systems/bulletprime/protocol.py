@@ -142,6 +142,23 @@ class BulletPrime(Protocol):
             state.requested.add(block)
             ctx.send(peer, REQUEST_BLOCK, {"block": block})
 
+    # -- application requests ----------------------------------------------------------
+
+    def handle_app(self, ctx: HandlerContext, state: BulletState, call: str,
+                   payload: Mapping) -> None:
+        if call == "fetch":
+            # On-demand block fetch (the workload generator's request
+            # type): ask the source — or an explicit target — for one
+            # block, bypassing the periodic rarest-random request cycle.
+            target = payload.get("target", state.source)
+            if target is None or target == state.addr:
+                return
+            block = int(payload.get("key", 0)) % max(1, state.block_count)
+            if block in state.have:
+                return
+            state.requested.add(block)
+            ctx.send(target, REQUEST_BLOCK, {"block": block})
+
     # -- message handlers ------------------------------------------------------------
 
     def handle_message(self, ctx: HandlerContext, state: BulletState,

@@ -20,8 +20,10 @@ from ...mc.global_state import GlobalState
 from ...mc.search import SearchBudget
 from ...mc.transition import TransitionConfig
 from ...runtime.address import Address
+from ...workload import TrafficSpec, WorkloadSpec
 from .properties import ALL_PROPERTIES
 from .protocol import (
+    BLOCK,
     DIFF_TIMER,
     DRAIN_TIMER,
     REQUEST_TIMER,
@@ -50,6 +52,18 @@ def _protocol_factory(addresses: Sequence[Address],
         fix_shadow_map=bool(options.get("fix_shadow_map", True)),
     )
     return lambda: BulletPrime(config)
+
+
+def _make_fetch(rng, key, addresses):
+    """One on-demand block fetch from a random non-source member.
+
+    The keyed block index is resolved against the configured block count
+    inside the protocol's ``fetch`` handler, so one workload definition
+    works for any ``block_count`` option.
+    """
+    requesters = addresses[1:] or addresses
+    origin = requesters[int(rng.random() * len(requesters)) % len(requesters)]
+    return origin, "fetch", {"key": key}
 
 
 def _collect(sim) -> dict:
@@ -146,6 +160,18 @@ SPEC = register_system(SystemSpec(
                 system="bulletprime", faults=("delay", "duplicate"),
                 default_nodes=8, default_duration=300.0,
                 options={"block_count": 8}),
+        ),
+    },
+    workloads={
+        "fetch": WorkloadSpec(
+            name="fetch",
+            description="On-demand block fetches from random mesh members "
+                        "(explicit RequestBlock to the source, answered "
+                        "with the Block transfer)",
+            make_request=_make_fetch,
+            traffic=TrafficSpec(rate=20.0, burst=4, keys=16,
+                                key_distribution="uniform", start=10.0),
+            completion_mtypes=frozenset({BLOCK}),
         ),
     },
     default_nodes=8,

@@ -109,6 +109,13 @@ class RandTree(Protocol):
                    payload: Mapping[str, Any]) -> None:
         if call == "join":
             self._try_join(ctx, state)
+        elif call == "probe":
+            # Application-driven liveness probe of an arbitrary member
+            # (the workload generator's request type); the target answers
+            # with the same ProbeReply the recovery path uses.
+            target = payload.get("target")
+            if target is not None and target != state.addr:
+                ctx.send(target, PROBE, {}, transport=Transport.UDP)
 
     def handle_timer(self, ctx: HandlerContext, state: RandTreeState, timer: str) -> None:
         if timer == JOIN_TIMER:

@@ -17,8 +17,9 @@ from ...api.registry import (
 from ...mc.search import SearchBudget
 from ...mc.transition import TransitionConfig
 from ...runtime.address import Address
+from ...workload import TrafficSpec, WorkloadSpec
 from .properties import ALL_PROPERTIES
-from .protocol import RandTree, RandTreeConfig
+from .protocol import PROBE_REPLY, RandTree, RandTreeConfig
 from .scenarios import Figure2Scenario, Figure9Scenario
 
 #: RandTreeConfig fields accepted as experiment options.
@@ -39,6 +40,15 @@ def _protocol_factory(addresses: Sequence[Address],
     bootstrap_index = int(options.get("bootstrap_index", 0))
     config = RandTreeConfig(bootstrap=(addresses[bootstrap_index],), **kwargs)
     return lambda: RandTree(config)
+
+
+def _make_probe(rng, key, addresses):
+    """One liveness probe of a keyed member issued from a random member."""
+    origin = addresses[int(rng.random() * len(addresses)) % len(addresses)]
+    target = addresses[key % len(addresses)]
+    if target == origin:
+        target = addresses[(key + 1) % len(addresses)]
+    return origin, "probe", {"target": target}
 
 
 def _run_figure(scenario_cls, name: str):
@@ -91,6 +101,17 @@ SPEC = register_system(SystemSpec(
             run=make_fault_scenario_runner(
                 system="randtree", faults=("delay", "duplicate", "link-flap"),
                 default_nodes=6, default_duration=240.0),
+        ),
+    },
+    workloads={
+        "probes": WorkloadSpec(
+            name="probes",
+            description="Open-loop liveness probes between random members "
+                        "(answered with the recovery path's ProbeReply)",
+            make_request=_make_probe,
+            traffic=TrafficSpec(rate=100.0, burst=10, keys=1024,
+                                key_distribution="uniform", start=60.0),
+            completion_mtypes=frozenset({PROBE_REPLY}),
         ),
     },
     default_nodes=6,

@@ -31,8 +31,15 @@ def test_workload_by_name_drives_requests():
 def test_unknown_workload_name_fails_fast():
     with pytest.raises(KeyError, match="known workloads"):
         Experiment("chord").workload("nope")
+    # Every bundled system registers a default workload now; a bare spec
+    # exercises the empty-registry message.
+    from repro.api.registry import SystemSpec
+
+    bare = SystemSpec(name="bare", summary="",
+                      protocol_factory=lambda addrs, options: None,
+                      properties=())
     with pytest.raises(KeyError, match="<none>"):
-        Experiment("randtree").workload("lookups")
+        bare.workload("lookups")
 
 
 def test_workload_none_turns_the_stream_off():
@@ -124,4 +131,5 @@ def test_cli_list_shows_workloads(capsys):
     by_name = {entry["name"]: entry for entry in payload}
     assert "lookups" in by_name["chord"]["workloads"]
     assert "get-put" in by_name["kvstore"]["workloads"]
-    assert by_name["randtree"]["workloads"] == {}
+    assert "probes" in by_name["randtree"]["workloads"]
+    assert "fetch" in by_name["bulletprime"]["workloads"]

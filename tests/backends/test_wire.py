@@ -1,0 +1,96 @@
+"""Tests for the deployed-mode wire format (frames and accounting)."""
+
+import struct
+
+import pytest
+
+from repro.backends import (
+    FRAME_MAGIC,
+    HEADER_SIZE,
+    KIND_CONTROL,
+    KIND_SERVICE,
+    MAX_FRAME_BYTES,
+    WireError,
+    WireStats,
+    decode_frame,
+    decode_header,
+    encode_frame,
+)
+from repro.runtime import Address, Message, Transport
+
+_HEADER = struct.Struct(">HBI")
+
+
+def _msg(**kwargs):
+    defaults = dict(mtype="Ping", src=Address(1), dst=Address(2),
+                    payload={"n": 7})
+    defaults.update(kwargs)
+    return Message(**defaults)
+
+
+def test_encode_decode_round_trip_preserves_message():
+    message = _msg(payload={"blocks": (1, 2, 3), "origin": Address(4)},
+                   transport=Transport.UDP, checkpoint_number=5)
+    decoded = decode_frame(encode_frame(message))
+    assert decoded.mtype == message.mtype
+    assert decoded.src == message.src and decoded.dst == message.dst
+    assert decoded.payload == message.payload
+    assert decoded.transport is Transport.UDP
+    assert decoded.checkpoint_number == 5
+    assert decoded.msg_id == message.msg_id
+
+
+def test_header_tags_control_frames():
+    service = encode_frame(_msg())
+    control = encode_frame(_msg(mtype="_cb_checkpoint_request", control=True))
+    assert _HEADER.unpack(service[:HEADER_SIZE])[1] == KIND_SERVICE
+    assert _HEADER.unpack(control[:HEADER_SIZE])[1] == KIND_CONTROL
+
+
+def test_header_announces_payload_length():
+    frame = encode_frame(_msg())
+    magic, _kind, length = _HEADER.unpack(frame[:HEADER_SIZE])
+    assert magic == FRAME_MAGIC
+    assert length == len(frame) - HEADER_SIZE
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(WireError, match="truncated"):
+        decode_header(b"\x00\x01")
+
+
+def test_bad_magic_rejected():
+    header = _HEADER.pack(0xDEAD, KIND_SERVICE, 4)
+    with pytest.raises(WireError, match="magic"):
+        decode_header(header)
+
+
+def test_unknown_kind_rejected():
+    header = _HEADER.pack(FRAME_MAGIC, 9, 4)
+    with pytest.raises(WireError, match="kind"):
+        decode_header(header)
+
+
+def test_oversized_announcement_rejected():
+    header = _HEADER.pack(FRAME_MAGIC, KIND_SERVICE, MAX_FRAME_BYTES + 1)
+    with pytest.raises(WireError, match="ceiling"):
+        decode_header(header)
+
+
+def test_length_mismatch_rejected():
+    frame = encode_frame(_msg())
+    with pytest.raises(WireError, match="header says"):
+        decode_frame(frame + b"trailing")
+
+
+def test_wire_stats_split_service_from_control():
+    stats = WireStats()
+    stats.record(_msg(), 100)
+    stats.record(_msg(mtype="_cb_checkpoint_request", control=True), 50)
+    stats.record(_msg(), 100)
+    report = stats.report()
+    assert report["frames_sent"] == 3
+    assert report["service_frames"] == 2
+    assert report["control_frames"] == 1
+    assert report["wire_bytes"] == 250
+    assert report["by_mtype"] == {"Ping": 2, "_cb_checkpoint_request": 1}

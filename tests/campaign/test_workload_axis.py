@@ -38,7 +38,7 @@ def test_unknown_workload_fails_expand():
         spec.expand()
     # A workload must exist on *every* swept system.
     spec = CampaignSpec(systems=["chord", "randtree"], workloads=["lookups"])
-    with pytest.raises(ValueError, match="<none>"):
+    with pytest.raises(ValueError, match="randtree.*has no workload 'lookups'"):
         spec.expand()
 
 
