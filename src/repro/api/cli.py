@@ -160,6 +160,44 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true", dest="as_json",
                      help="print the full RunReport as JSON")
 
+    attack = sub.add_parser(
+        "attack", parents=[common],
+        help="hunt for a minimal byzantine counterexample to a named "
+             "property and emit an attack-report artifact")
+    attack.add_argument("system", help="registered system name (see `list`)")
+    attack.add_argument("--property", dest="property_id", required=True,
+                        help="registry id of the property under attack "
+                             "(e.g. paxos.agreement)")
+    attack.add_argument("--faults", metavar="PRESET", action="append",
+                        default=[],
+                        help="byzantine fault preset(s)/type(s) to attack "
+                             "with, comma-separable and repeatable "
+                             "(default: equivocation)")
+    attack.add_argument("--nodes", type=int, default=None,
+                        help="deployment size")
+    attack.add_argument("--duration", type=float, default=None,
+                        help="simulated seconds per attempt")
+    attack.add_argument("--seed", type=int, default=0,
+                        help="run seed of every seeded execution")
+    attack.add_argument("--attempts", type=int, default=8,
+                        help="seeded attack schedules to try (default 8)")
+    attack.add_argument("--mode", default="off",
+                        help="CrystalBall mode during the attacked runs "
+                             "(off, debug, steering, isc-only); steering "
+                             "shows the controller filtering the attack")
+    attack.add_argument("--no-minimize", action="store_true",
+                        help="skip delta-debugging trace minimization")
+    attack.add_argument("--option", metavar="KEY=VALUE", type=_parse_option,
+                        action="append", default=[],
+                        help="system-specific option (repeatable)")
+    attack.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a JSONL trace of the final replay run")
+    attack.add_argument("--out", metavar="DIR", default="attack-reports",
+                        help="directory for the JSON + markdown attack "
+                             "report (default: attack-reports)")
+    attack.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the AttackReport as JSON on stdout")
+
     trace = sub.add_parser(
         "trace", parents=[common],
         help="inspect a JSONL trace written by `run --trace`")
@@ -446,6 +484,55 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from ..attack import AttackConfig, find_attack
+
+    faults = [name for chunk in args.faults
+              for name in chunk.split(",") if name]
+    config = AttackConfig(
+        system=args.system,
+        property_id=args.property_id,
+        faults=tuple(faults) if faults else ("equivocation",),
+        nodes=args.nodes,
+        duration=args.duration,
+        seed=args.seed,
+        attempts=args.attempts,
+        mode=args.mode,
+        minimize=not args.no_minimize,
+        options=dict(args.option),
+        trace=args.trace,
+    )
+    try:
+        result = find_attack(config)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    report = result.report
+    json_path, md_path = report.write(args.out)
+    if args.as_json:
+        print(report.to_json())
+    elif report.found:
+        violation = report.violation or {}
+        print(f"FALSIFIED {report.property_id} on {report.system} "
+              f"(attempt {report.attempts}, attack seed "
+              f"{report.attack_seed})")
+        print(f"  violation: t={violation.get('sim_time', 0.0):.3f}s "
+              f"digest={violation.get('state_digest')}")
+        print(f"  trace: {report.original_steps} -> "
+              f"{report.minimized_steps} step(s) after "
+              f"{len(report.reductions)} reduction(s)")
+        replay = report.replay or {}
+        print(f"  replay: "
+              f"{'verified' if replay.get('verified') else 'MISMATCH'}")
+        print(f"  report: {md_path} (+ {json_path})")
+    else:
+        print(f"no counterexample to {report.property_id} on "
+              f"{report.system} in {report.attempts} attempt(s)")
+        print(f"  report: {md_path} (+ {json_path})")
+    return 0 if report.found else 1
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from ..obs import (
         causal_chain,
@@ -628,6 +715,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_faults(args.as_json)
     if args.command == "properties":
         return _cmd_properties(args.pattern, args.as_json)
+    if args.command == "attack":
+        return _cmd_attack(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
     if args.command == "trace":

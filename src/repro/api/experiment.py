@@ -38,6 +38,7 @@ from ..core.controller import (
 )
 from ..core.monitor import LivePropertyMonitor
 from ..faults.base import Fault
+from ..faults.byzantine import MutatingFault
 from ..faults.nemesis import Nemesis
 from ..faults.presets import make_nemesis
 from ..mc.search import SearchBudget, SearchResult
@@ -279,6 +280,10 @@ class LiveRun:
     fault_seed: Optional[int] = None
     #: Quiet period before the first fault (defaults to one join round).
     fault_start_after: Optional[float] = None
+    #: Byzantine payload mutator handed to MutatingFault instances that
+    #: carry none — normally the system spec's registered protocol-aware
+    #: hook (see SystemSpec.message_mutator).
+    message_mutator: Optional[Callable[..., Any]] = None
     #: Dirty-node fast path for node-scoped properties in the live monitor
     #: (bit-identical records either way; False forces a full re-check per
     #: event, which is what the monitor-overhead benchmark compares).
@@ -367,7 +372,13 @@ class LiveRun:
                 seed=(self.fault_seed if self.fault_seed is not None
                       else self.seed + 13),
                 start_after=start_after,
-            ).install(sim)
+            )
+            if self.message_mutator is not None:
+                for fault in nemesis.faults:
+                    if (isinstance(fault, MutatingFault)
+                            and fault.mutator is None):
+                        fault.mutator = self.message_mutator
+            nemesis.install(sim)
 
         if self.schedule is not None:
             self.schedule(sim, addresses, self.options)
@@ -909,6 +920,7 @@ class Experiment:
             faults=tuple(self._faults),
             fault_seed=self._fault_seed,
             fault_start_after=self._fault_start_after,
+            message_mutator=self._spec.message_mutator,
             incremental_monitor=self._incremental_monitor,
             workload=self._workload,
             join_call=self._spec.join_call,

@@ -94,6 +94,11 @@ class SystemSpec:
     #: System-specific outcome extraction: ``collect(simulator) -> dict``
     #: merged into ``RunReport.outcome`` (e.g. chosen values, completions).
     collect: Optional[Callable[..., dict]] = None
+    #: Protocol-aware byzantine payload mutator
+    #: ``(message, rng, variant) -> Message | None`` used by the tampering
+    #: and equivocation faults (see :mod:`repro.faults.byzantine`); None
+    #: falls back to the generic integer perturbation.
+    message_mutator: Optional[Callable[..., Any]] = None
 
     def scenario(self, name: str) -> ScenarioSpec:
         try:

@@ -27,8 +27,46 @@ from .store import ResultStore, make_record
 ProgressHook = Callable[[dict[str, Any]], None]
 
 
+def run_attack_cell(run: RunSpec) -> RunReport:
+    """Execute one ``modes=attack`` cell: hunt → minimize → replay.
+
+    The cell's fault presets become the attack surface and its single
+    named property the falsification target (``CampaignSpec.expand``
+    enforces both).  The returned report is the minimized violating run
+    (or the last seeded run of a failed hunt) with the attack artifact
+    attached under ``outcome["attack"]`` — so rollups aggregate attack
+    cells exactly like live cells, plus the attack verdict.
+    """
+    from ..attack import AttackConfig, find_attack
+
+    config = AttackConfig(
+        system=run.system,
+        property_id=run.properties[0],
+        faults=run.faults,
+        nodes=run.nodes,
+        duration=run.duration,
+        seed=run.seed,
+        options=dict(run.options),
+    )
+    result = find_attack(config)
+    report = result.run_report
+    if report is None:
+        # The hunt never completed a single run (attempt budget 0);
+        # synthesize an empty report so the record still aggregates.
+        report = RunReport(system=run.system, seed=run.seed)
+    summary = result.report.to_dict()
+    # The full metrics snapshot and the pre-minimization trace stay in the
+    # standalone artifact; campaign records carry the actionable core.
+    summary.pop("metrics", None)
+    summary.pop("original_trace", None)
+    report.outcome["attack"] = summary
+    return report
+
+
 def run_one(run: RunSpec) -> RunReport:
     """Execute one campaign cell through the fluent experiment API."""
+    if run.mode == "attack":
+        return run_attack_cell(run)
     experiment = Experiment(run.system).seed(run.seed).mode(run.mode)
     if run.scenario is not None:
         experiment.scenario(run.scenario)
@@ -89,7 +127,7 @@ def summarize_report(report: RunReport) -> dict[str, Any]:
     # rollup takes exactly the deterministic remainder (the same subset
     # MetricsRegistry.counters() exposes).
     counters = (report.metrics or {}).get("counters", {})
-    return {
+    summary: dict[str, Any] = {
         "node_count": report.node_count,
         "metrics": {name: int(value)
                     for name, value in sorted(counters.items())
@@ -108,6 +146,23 @@ def summarize_report(report: RunReport) -> dict[str, Any]:
         "requests_injected": report.requests_injected(),
         "requests_completed": report.requests_completed(),
     }
+    attack = (report.outcome or {}).get("attack")
+    if attack:
+        # Attack cells surface their verdict in the summary row (all of it
+        # reproduces from the seeds); the full artifact stays in the
+        # record's report dict.
+        summary["attack"] = {
+            "found": bool(attack.get("found")),
+            "attempts": int(attack.get("attempts", 0)),
+            "executions": int(attack.get("executions", 0)),
+            "original_steps": int(attack.get("original_steps", 0)),
+            "minimized_steps": int(attack.get("minimized_steps", 0)),
+            "reductions": list(attack.get("reductions") or ()),
+            "replay_verified": bool(
+                (attack.get("replay") or {}).get("verified")
+            ),
+        }
+    return summary
 
 
 def execute_run(run_dict: dict[str, Any]) -> dict[str, Any]:

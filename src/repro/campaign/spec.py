@@ -31,6 +31,11 @@ LIVE_SCENARIO = "live"
 #: Properties-axis value meaning "the system's default property set".
 DEFAULT_PROPERTIES = "default"
 
+#: Modes-axis value dispatching the cell to the falsification pipeline
+#: (:mod:`repro.attack`: hunt → minimize → replay) instead of a single
+#: live run.  Not a controller mode — attack cells run the controller off.
+ATTACK_MODE = "attack"
+
 
 def _preset_combo(value: Union[str, Sequence[str], None]) -> tuple[str, ...]:
     """Normalize one faults-axis value into a tuple of preset names."""
@@ -290,7 +295,11 @@ class CampaignSpec:
                         f"(known presets: {', '.join(sorted(known_presets))})"
                     )
 
-        modes = [parse_mode(mode).value for mode in self.modes]
+        modes = [
+            ATTACK_MODE if str(mode).lower() == ATTACK_MODE
+            else parse_mode(mode).value
+            for mode in self.modes
+        ]
 
         property_combos = [_property_combo(value) for value in self.properties]
         for combo in property_combos:
@@ -373,6 +382,44 @@ class CampaignSpec:
                 "scenarios (scenarios build their own runtime); sweep "
                 "backends over live runs"
             )
+
+        if ATTACK_MODE in modes:
+            # Attack cells are whole falsification pipelines (many seeded
+            # re-executions), not single live runs — refuse every axis the
+            # pipeline would silently ignore, exactly like the scenario
+            # refusals above.
+            if any(name is not None for name in scenarios):
+                raise ValueError(
+                    "attack mode cannot be combined with scripted "
+                    "scenarios; hunt counterexamples over live cells"
+                )
+            if any(backend != "sim" for backend in self.backends):
+                raise ValueError(
+                    "attack mode requires the sim backend (the "
+                    "falsification search re-executes seeded simulator "
+                    "runs bit-reproducibly)"
+                )
+            if any(name is not None for name in workloads):
+                raise ValueError(
+                    "attack mode cannot be combined with workloads; "
+                    "attack cells drive only the system's own traffic"
+                )
+            if not all(combos):
+                raise ValueError(
+                    "attack mode needs a fault-preset axis on every cell "
+                    "(the attack schedule is concretized from the cell's "
+                    "presets); set faults=byzantine, faults=equivocation, "
+                    "..."
+                )
+            for combo in property_combos:
+                selection = combo or ()
+                if (len(selection) != 1
+                        or len(select_properties(*selection)) != 1):
+                    raise ValueError(
+                        "attack mode falsifies one named property per "
+                        "cell; set properties=<property-id> (exactly one "
+                        "id, no globs or combos)"
+                    )
 
         known_overrides = {"rate", "burst", "keys", "distribution",
                            "start", "duration"}

@@ -22,6 +22,14 @@ regardless of which fault window is currently open).
 """
 
 from .base import Fault, FaultRecord, MessageInterceptor
+from .byzantine import (
+    EquivocatingNode,
+    MessageMutator,
+    MessageTamper,
+    MutatingFault,
+    SpoofSender,
+    generic_mutator,
+)
 from .nemesis import Nemesis
 from .presets import (
     PRESETS,
@@ -44,6 +52,12 @@ __all__ = [
     "Fault",
     "FaultRecord",
     "MessageInterceptor",
+    "MessageMutator",
+    "MessageTamper",
+    "MutatingFault",
+    "SpoofSender",
+    "EquivocatingNode",
+    "generic_mutator",
     "Nemesis",
     "PRESETS",
     "list_presets",

@@ -15,7 +15,9 @@ Message-level faults (delay, reorder, duplication) act through
 :class:`~repro.runtime.network.NetworkModel`: the simulator asks the network
 model for a *delivery plan* (a list of delivery latencies, empty = dropped)
 for every transmitted message, and each installed interceptor may transform
-that plan.
+that plan.  Byzantine faults (see :mod:`repro.faults.byzantine`)
+additionally use the :meth:`MessageInterceptor.rewrite` hook to alter the
+message *content* on the wire before the plan is computed.
 """
 
 from __future__ import annotations
@@ -39,8 +41,12 @@ class FaultRecord:
     detail: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
-        return {"time": round(self.time, 3), "fault": self.fault,
-                "kind": self.kind, "detail": dict(self.detail)}
+        return {
+            "time": round(self.time, 3),
+            "fault": self.fault,
+            "kind": self.kind,
+            "detail": dict(self.detail),
+        }
 
 
 @dataclass
@@ -57,11 +63,19 @@ class Fault:
         How long the fault stays active before :meth:`heal` is called.
         ``None`` means the fault is instantaneous (e.g. a reset) or
         permanent (nothing to undo).
+    rng_key:
+        Optional explicit seed string for this fault's private RNG.  The
+        nemesis normally derives the per-fault RNG from
+        ``(seed, index, name)``; a concretized attack step (see
+        :mod:`repro.attack`) pins its own key instead, so dropping one
+        step during trace minimization never shifts the draws of the
+        remaining steps.
     """
 
     at: Optional[float] = None
     every: Optional[float] = None
     duration: Optional[float] = None
+    rng_key: Optional[str] = None
 
     #: Human-readable fault-type name used in records and breakdowns.
     name = "fault"
@@ -70,13 +84,14 @@ class Fault:
         if (self.at is None) == (self.every is None):
             raise ValueError(
                 f"{type(self).__name__} needs exactly one of at= (one-shot) "
-                f"or every= (periodic)")
+                f"or every= (periodic)"
+            )
         if self.every is not None and self.every <= 0:
             raise ValueError("every must be positive")
         if self.duration is not None and self.duration <= 0:
             raise ValueError("duration must be positive")
 
-    # -- target selection helpers -------------------------------------------------
+    # -- target selection helpers ---------------------------------------------
 
     @staticmethod
     def alive_addresses(sim: Simulator, *, spare: int = 0) -> list[Address]:
@@ -86,7 +101,7 @@ class Fault:
         protected = set(sorted(sim.nodes)[:spare])
         return [addr for addr in alive if addr not in protected]
 
-    # -- lifecycle ----------------------------------------------------------------
+    # -- lifecycle ------------------------------------------------------------
 
     def inject(self, sim: Simulator, rng: random.Random) -> Optional[dict]:
         """Apply the fault; return a detail dict for the record, or ``None``
@@ -112,18 +127,36 @@ class Fault:
 
 
 class MessageInterceptor:
-    """Transforms the delivery plan of transmitted messages.
+    """Transforms the delivery plan — and optionally the content — of
+    transmitted messages.
 
     ``transform`` receives the message, the current plan (a list of delivery
     latencies in seconds; one entry per copy that will be delivered, empty
     meaning the message is dropped) and the simulator RNG, and returns the
     new plan.  Interceptors compose: the network model threads the plan
     through every installed interceptor in order.
+
+    ``rewrite`` may return a *replacement* message that is delivered instead
+    of the original — the hook byzantine faults tamper, spoof and
+    equivocate through.  The default is the identity and consumes no RNG
+    state, so benign fault schedules stay bit-identical to the pre-byzantine
+    runtime.
     """
 
     #: Messages intercepted (for fault detail accounting).
     affected: int = 0
 
-    def transform(self, message: Message, plan: list[float],
-                  rng: random.Random) -> list[float]:
+    def transform(
+        self, message: Message, plan: list[float], rng: random.Random
+    ) -> list[float]:
         raise NotImplementedError
+
+    def rewrite(self, message: Message, rng: random.Random) -> Message:
+        """Return the message to deliver in place of ``message``.
+
+        Called once per transmitted message (after the loss draw, before
+        the delivery plan); byzantine interceptors override it.  Must not
+        consume ``rng`` unless it actually alters behaviour, so that
+        fault-free and benign-fault runs keep their historical schedules.
+        """
+        return message

@@ -1,0 +1,347 @@
+"""Byzantine fault types: an adversary that lies instead of failing.
+
+The benign nemesis faults (partitions, crashes, delays) only model a
+*fail-stop* world; CrystalBall's steering claim is more interesting against
+an adversary that forges traffic.  Three composable
+:class:`~repro.faults.base.Fault` types supply that adversary, all acting
+through the :meth:`~repro.faults.base.MessageInterceptor.rewrite` hook on
+the network model so the tampering happens "on the wire" — senders keep
+their honest state, receivers observe forged bytes:
+
+:class:`MessageTamper`
+    Mutates payload fields of a random fraction of in-flight service
+    messages through a per-system *mutator* hook (protocol-aware poison
+    when the system registers one, a generic integer perturbation
+    otherwise).
+
+:class:`SpoofSender`
+    Rewrites the source address of a fraction of service messages to
+    another live node, forging provenance.
+
+:class:`EquivocatingNode`
+    Picks one liar node and rewrites everything it sends so that different
+    destinations observe *conflicting* payloads for the same logical step —
+    the classic equivocation attack behind the Paxos agreement violation in
+    ``examples/paxos_equivocation.py``.
+
+Every draw comes from a private ``random.Random`` seeded from the
+nemesis-provided fault RNG at injection time, so attack schedules are
+bit-reproducible from the nemesis seed (or the fault's pinned ``rng_key``)
+and never perturb the simulator's own RNG stream: a run whose byzantine
+windows happen to rewrite nothing is bit-identical to one without them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Optional, Sequence
+
+from ..runtime.address import Address
+from ..runtime.messages import Message
+from ..runtime.simulator import Simulator
+from .base import Fault, MessageInterceptor
+
+__all__ = [
+    "MessageMutator",
+    "MessageTamper",
+    "SpoofSender",
+    "EquivocatingNode",
+    "MutatingFault",
+    "generic_mutator",
+]
+
+#: ``mutator(message, rng, variant) -> mutated message or None``.  The
+#: variant index selects one of several conflicting rewrites so an
+#: equivocating node can feed each destination a different lie; returning
+#: ``None`` declines to mutate (the message passes through untouched).
+MessageMutator = Callable[[Message, random.Random, int], Optional[Message]]
+
+
+def generic_mutator(
+    message: Message, rng: random.Random, variant: int
+) -> Optional[Message]:
+    """Protocol-agnostic payload poison: perturb integer payload fields.
+
+    Only plain ``int`` values (not bools, which usually gate control flow)
+    are touched, so the mutated message stays structurally valid for every
+    bundled protocol — handlers observe a wrong *value*, not a wrong
+    *shape*.  Returns ``None`` when the payload holds nothing mutable.
+    """
+    mutable = [
+        key
+        for key, value in message.payload.items()
+        if isinstance(value, int) and not isinstance(value, bool)
+    ]
+    if not mutable:
+        return None
+    key = mutable[rng.randrange(len(mutable))]
+    poisoned = dict(message.payload)
+    poisoned[key] = int(poisoned[key]) + 1 + variant
+    return replace(message, payload=poisoned)
+
+
+class _ByzantineInterceptor(MessageInterceptor):
+    """Shared shape: identity plan transform + content rewrite."""
+
+    def __init__(self, rng: random.Random) -> None:
+        #: Private RNG — rewrite draws never touch the simulator RNG, so
+        #: the benign event schedule is unchanged by a byzantine window.
+        self._rng = rng
+        self.affected = 0
+
+    def transform(
+        self, message: Message, plan: list[float], rng: random.Random
+    ) -> list[float]:
+        return plan
+
+
+class _TamperInterceptor(_ByzantineInterceptor):
+    def __init__(
+        self,
+        rng: random.Random,
+        probability: float,
+        mutator: MessageMutator,
+        mtypes: Optional[tuple[str, ...]],
+        variants: int,
+    ) -> None:
+        super().__init__(rng)
+        self.probability = probability
+        self.mutator = mutator
+        self.mtypes = mtypes
+        self.variants = max(1, variants)
+
+    def rewrite(self, message: Message, rng: random.Random) -> Message:
+        if message.control:
+            return message
+        if self.mtypes is not None and message.mtype not in self.mtypes:
+            return message
+        if self._rng.random() >= self.probability:
+            return message
+        variant = self._rng.randrange(self.variants)
+        mutated = self.mutator(message, self._rng, variant)
+        if mutated is None:
+            return message
+        self.affected += 1
+        return mutated
+
+
+class _SpoofInterceptor(_ByzantineInterceptor):
+    def __init__(
+        self,
+        rng: random.Random,
+        probability: float,
+        addresses: Sequence[Address],
+        mtypes: Optional[tuple[str, ...]],
+    ) -> None:
+        super().__init__(rng)
+        self.probability = probability
+        self.addresses = list(addresses)
+        self.mtypes = mtypes
+
+    def rewrite(self, message: Message, rng: random.Random) -> Message:
+        if message.control:
+            return message
+        if self.mtypes is not None and message.mtype not in self.mtypes:
+            return message
+        candidates = [addr for addr in self.addresses if addr != message.src]
+        if not candidates or self._rng.random() >= self.probability:
+            return message
+        forged = candidates[self._rng.randrange(len(candidates))]
+        self.affected += 1
+        return replace(message, src=forged)
+
+
+class _EquivocationInterceptor(_ByzantineInterceptor):
+    def __init__(
+        self,
+        rng: random.Random,
+        liar: Address,
+        addresses: Sequence[Address],
+        mutator: MessageMutator,
+        mtypes: Optional[tuple[str, ...]],
+    ) -> None:
+        super().__init__(rng)
+        self.liar = liar
+        #: Destination order fixes which lie each peer hears: the variant
+        #: index is the peer's rank, so the same destination always gets
+        #: the same (conflicting-with-everyone-else's) payload.
+        self.addresses = sorted(addresses)
+        self.mutator = mutator
+        self.mtypes = mtypes
+
+    def rewrite(self, message: Message, rng: random.Random) -> Message:
+        if message.control or message.src != self.liar:
+            return message
+        if self.mtypes is not None and message.mtype not in self.mtypes:
+            return message
+        try:
+            variant = self.addresses.index(message.dst)
+        except ValueError:
+            variant = 0
+        mutated = self.mutator(message, self._rng, variant)
+        if mutated is None:
+            return message
+        self.affected += 1
+        return mutated
+
+
+@dataclass
+class MutatingFault(Fault):
+    """Base for byzantine window faults; carries the payload-mutator hook.
+
+    ``mutator`` defaults to ``None``, which means "use the system's
+    registered mutator, falling back to :func:`generic_mutator`" — the
+    live-run driver fills in the registered hook (see
+    ``SystemSpec.message_mutator``) before the nemesis is installed.
+    :class:`SpoofSender` inherits the window lifecycle but forges
+    addresses instead of payloads and ignores the mutator.
+
+    The lifecycle mirrors ``_InterceptorFault`` in
+    :mod:`repro.faults.types`, except that :meth:`make_interceptor`
+    receives the simulator and the fault RNG: byzantine interceptors need
+    the membership (to pick liars and forged sources) and a private RNG
+    seeded from the schedule RNG at injection time.
+    """
+
+    mutator: Optional[MessageMutator] = None
+    #: Restrict tampering to these message types (None = all service
+    #: traffic).  Control-plane messages are never touched.
+    mtypes: Optional[tuple[str, ...]] = None
+    _interceptor: Optional[MessageInterceptor] = field(
+        default=None, init=False, repr=False
+    )
+
+    def resolved_mutator(self) -> MessageMutator:
+        return self.mutator if self.mutator is not None else generic_mutator
+
+    def make_interceptor(
+        self, sim: Simulator, rng: random.Random
+    ) -> Optional[MessageInterceptor]:
+        raise NotImplementedError
+
+    def describe(self) -> dict:
+        return {}
+
+    def inject(self, sim: Simulator, rng: random.Random) -> Optional[dict]:
+        if self._interceptor is not None:
+            return None  # previous window still open
+        interceptor = self.make_interceptor(sim, rng)
+        if interceptor is None:
+            return None
+        self._interceptor = interceptor
+        sim.network.interceptors.append(interceptor)
+        return self.describe()
+
+    def heal(self, sim: Simulator) -> Optional[dict]:
+        if self._interceptor is None:
+            return None
+        interceptor, self._interceptor = self._interceptor, None
+        if interceptor in sim.network.interceptors:
+            sim.network.interceptors.remove(interceptor)
+        return {"messages_affected": interceptor.affected}
+
+
+@dataclass
+class MessageTamper(MutatingFault):
+    """Mutate payload fields of a fraction of in-flight service messages.
+
+    Each tampered message is rewritten by the mutator with a random variant
+    index, so repeated tampering of the same message type yields different
+    poison values.  ``probability`` is per transmitted message while the
+    window is open.
+    """
+
+    name = "message-tamper"
+
+    probability: float = 0.3
+    variants: int = 4
+
+    def make_interceptor(
+        self, sim: Simulator, rng: random.Random
+    ) -> Optional[MessageInterceptor]:
+        return _TamperInterceptor(
+            random.Random(rng.getrandbits(64)),
+            self.probability,
+            self.resolved_mutator(),
+            self.mtypes,
+            self.variants,
+        )
+
+    def describe(self) -> dict:
+        return {
+            "probability": self.probability,
+            "mtypes": list(self.mtypes) if self.mtypes else "all",
+        }
+
+
+@dataclass
+class SpoofSender(MutatingFault):
+    """Forge the source address of a fraction of service messages.
+
+    Receivers observe traffic attributed to a node that never sent it —
+    the provenance attack that flushes out protocols trusting the ``src``
+    field for membership or voting decisions.  The mutator hook is unused;
+    spoofing rewrites addresses, not payloads.
+    """
+
+    name = "spoof-sender"
+
+    probability: float = 0.3
+
+    def make_interceptor(
+        self, sim: Simulator, rng: random.Random
+    ) -> Optional[MessageInterceptor]:
+        addresses = self.alive_addresses(sim)
+        if len(addresses) < 2:
+            return None
+        self._pool = len(addresses)
+        return _SpoofInterceptor(
+            random.Random(rng.getrandbits(64)),
+            self.probability,
+            addresses,
+            self.mtypes,
+        )
+
+    def describe(self) -> dict:
+        return {"probability": self.probability, "pool": getattr(self, "_pool", 0)}
+
+
+@dataclass
+class EquivocatingNode(MutatingFault):
+    """One node's outbound traffic lies differently to every destination.
+
+    The liar is drawn from the alive nodes (``target`` pins it by index
+    into the sorted address list; ``spare`` protects the first addresses).
+    For each rewritten message the mutator's variant index is the
+    destination's rank, so two peers comparing notes on the "same"
+    message observe conflicting payloads — equivocation, the byzantine
+    behaviour quorum protocols must survive.
+    """
+
+    name = "equivocating-node"
+
+    target: Optional[int] = None
+    spare: int = 0
+
+    def make_interceptor(
+        self, sim: Simulator, rng: random.Random
+    ) -> Optional[MessageInterceptor]:
+        addresses = self.alive_addresses(sim, spare=self.spare)
+        if not addresses:
+            return None
+        if self.target is not None:
+            liar = sorted(sim.nodes)[self.target % len(sim.nodes)]
+        else:
+            liar = addresses[rng.randrange(len(addresses))]
+        self._liar = liar
+        return _EquivocationInterceptor(
+            random.Random(rng.getrandbits(64)),
+            liar,
+            sorted(sim.nodes),
+            self.resolved_mutator(),
+            self.mtypes,
+        )
+
+    def describe(self) -> dict:
+        return {"liar": str(getattr(self, "_liar", None))}

@@ -6,10 +6,11 @@ The nemesis owns *when* faults fire.  Installed on a
 :meth:`~repro.faults.base.Fault.inject`, schedules the matching
 :meth:`~repro.faults.base.Fault.heal` after ``duration``, and records every
 event as a :class:`~repro.faults.base.FaultRecord`.  Each fault draws its
-targets from its own ``random.Random`` seeded from ``(seed, index, name)``,
-so two runs with the same nemesis seed produce the identical fault schedule
-— the property the determinism tests and the model checker's
-predicted-vs-avoided comparisons rely on.
+targets from its own ``random.Random`` seeded from ``(seed, index, name)``
+— or from the fault's explicit ``rng_key`` when set — so two runs with the
+same nemesis seed produce the identical fault schedule — the property the
+determinism tests and the model checker's predicted-vs-avoided comparisons
+rely on.
 """
 
 from __future__ import annotations
@@ -46,14 +47,19 @@ class Nemesis:
             raise RuntimeError("nemesis is already installed")
         self.installed = True
         for index, fault in enumerate(self.faults):
-            rng = random.Random(f"{self.seed}/{index}/{fault.name}")
+            rng = random.Random(
+                fault.rng_key
+                if fault.rng_key is not None
+                else f"{self.seed}/{index}/{fault.name}"
+            )
             first = fault.at if fault.at is not None else fault.every
             sim.schedule_callback(
                 sim.now + self.start_after + first,
-                lambda s, f=fault, r=rng: self._fire(s, f, r))
+                lambda s, f=fault, r=rng: self._fire(s, f, r),
+            )
         return self
 
-    # -- scheduling ---------------------------------------------------------------
+    # -- scheduling -----------------------------------------------------------
 
     def _fire(self, sim: Simulator, fault: Fault, rng: random.Random) -> None:
         if self.stop_after is not None and sim.now >= self.stop_after:
@@ -67,12 +73,13 @@ class Nemesis:
             self._observe(sim, fault.name, "inject", detail)
             if fault.duration is not None:
                 sim.schedule_callback(
-                    sim.now + fault.duration,
-                    lambda s, f=fault: self._heal(s, f))
+                    sim.now + fault.duration, lambda s, f=fault: self._heal(s, f)
+                )
         if fault.every is not None:
             sim.schedule_callback(
                 sim.now + fault.every,
-                lambda s, f=fault, r=rng: self._fire(s, f, r))
+                lambda s, f=fault, r=rng: self._fire(s, f, r),
+            )
 
     def _heal(self, sim: Simulator, fault: Fault) -> None:
         detail = fault.heal(sim)
@@ -80,8 +87,7 @@ class Nemesis:
             self.records.append(FaultRecord(sim.now, fault.name, "heal", detail))
             self._observe(sim, fault.name, "heal", detail)
 
-    def _observe(self, sim: Simulator, name: str, action: str,
-                 detail: dict) -> None:
+    def _observe(self, sim: Simulator, name: str, action: str, detail: dict) -> None:
         if sim.obs.metrics is not None:
             sim.obs.metrics.inc(f"faults.{action}")
         if sim.obs.tracer is not None:
@@ -98,7 +104,7 @@ class Nemesis:
         for fault in self.faults:
             fault.cleanup(sim)
 
-    # -- accounting ---------------------------------------------------------------
+    # -- accounting -----------------------------------------------------------
 
     @property
     def faults_injected(self) -> int:
@@ -110,7 +116,8 @@ class Nemesis:
         keys = {"inject": "injected", "heal": "healed", "skip": "skipped"}
         for record in self.records:
             entry = breakdown.setdefault(
-                record.fault, {"injected": 0, "healed": 0, "skipped": 0})
+                record.fault, {"injected": 0, "healed": 0, "skipped": 0}
+            )
             entry[keys[record.kind]] += 1
         return breakdown
 

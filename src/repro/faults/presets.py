@@ -15,6 +15,7 @@ import copy
 from typing import Callable, Iterable, Union
 
 from .base import Fault
+from .byzantine import EquivocatingNode, MessageTamper, SpoofSender
 from .nemesis import Nemesis
 from .types import (
     ClockSkew,
@@ -44,6 +45,7 @@ def list_presets() -> list[str]:
 def _preset(name: str):
     def decorate(factory: PresetFactory) -> PresetFactory:
         return register_preset(name, factory)
+
     return decorate
 
 
@@ -66,8 +68,11 @@ def _partition_churn(duration: float) -> list[Fault]:
 @_preset("delay")
 def _delay(duration: float) -> list[Fault]:
     """Windows of heavy added latency (asynchrony spikes)."""
-    return [MessageDelay(every=duration / 4, duration=duration / 8,
-                         min_extra=0.2, max_extra=1.0)]
+    return [
+        MessageDelay(
+            every=duration / 4, duration=duration / 8, min_extra=0.2, max_extra=1.0
+        )
+    ]
 
 
 @_preset("reorder")
@@ -110,6 +115,23 @@ def _chaos(duration: float) -> list[Fault]:
     ]
 
 
+@_preset("byzantine")
+def _byzantine(duration: float) -> list[Fault]:
+    """Lying adversary: tampered payloads plus forged sender addresses,
+    staggered so the windows overlap part of the time."""
+    return [
+        MessageTamper(every=duration / 4, duration=duration / 8),
+        SpoofSender(every=duration / 3, duration=duration / 8),
+    ]
+
+
+@_preset("equivocation")
+def _equivocation(duration: float) -> list[Fault]:
+    """One node tells conflicting stories to different peers — the
+    byzantine behaviour behind the Paxos agreement attack."""
+    return [EquivocatingNode(every=duration / 3, duration=duration / 4)]
+
+
 def resolve_preset(name: str, duration: float) -> list[Fault]:
     """Expand one preset name; raises with the known names on a typo."""
     try:
@@ -117,7 +139,8 @@ def resolve_preset(name: str, duration: float) -> list[Fault]:
     except KeyError:
         known = ", ".join(list_presets())
         raise ValueError(
-            f"unknown fault preset {name!r} (known presets: {known})") from None
+            f"unknown fault preset {name!r} (known presets: {known})"
+        ) from None
     return factory(duration)
 
 
@@ -145,5 +168,9 @@ def make_nemesis(
             expanded.append(copy.deepcopy(item))
         else:
             expanded.extend(resolve_preset(item, duration))
-    return Nemesis(faults=expanded, seed=seed, start_after=start_after,
-                   stop_after=duration * stop_after_fraction)
+    return Nemesis(
+        faults=expanded,
+        seed=seed,
+        start_after=start_after,
+        stop_after=duration * stop_after_fraction,
+    )

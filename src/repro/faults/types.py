@@ -57,15 +57,19 @@ class Partition(Fault):
     spare: int = 0
     #: FIFO of per-injection link batches; heals pop the oldest batch.
     _cut_batches: list[list[tuple[Address, Address]]] = field(
-        default_factory=list, init=False, repr=False)
+        default_factory=list, init=False, repr=False
+    )
 
     def inject(self, sim: Simulator, rng: random.Random) -> Optional[dict]:
         nodes = self.alive_addresses(sim)
         eligible = self.alive_addresses(sim, spare=self.spare)
         if len(nodes) < 2 or not eligible:
             return None
-        size = min(max(self.min_side, round(len(nodes) * self.fraction)),
-                   len(nodes) - 1, len(eligible))
+        size = min(
+            max(self.min_side, round(len(nodes) * self.fraction)),
+            len(nodes) - 1,
+            len(eligible),
+        )
         minority = set(rng.sample(eligible, size))
         majority = [addr for addr in nodes if addr not in minority]
         batch = []
@@ -74,8 +78,7 @@ class Partition(Fault):
                 sim.network.partition(a, b)
                 batch.append((a, b))
         self._cut_batches.append(batch)
-        return {"minority": sorted(str(a) for a in minority),
-                "links_cut": len(batch)}
+        return {"minority": sorted(str(a) for a in minority), "links_cut": len(batch)}
 
     def heal(self, sim: Simulator) -> Optional[dict]:
         batch = self._cut_batches.pop(0) if self._cut_batches else []
@@ -96,11 +99,13 @@ class LinkFlap(Fault):
     name = "link-flap"
 
     _pair: Optional[tuple[Address, Address]] = field(
-        default=None, init=False, repr=False)
+        default=None, init=False, repr=False
+    )
     #: FIFO of pairs cut by past injections; each heal restores the pair
     #: its own injection cut, even if the flapping link changed since.
     _cut_pairs: list[tuple[Address, Address]] = field(
-        default_factory=list, init=False, repr=False)
+        default_factory=list, init=False, repr=False
+    )
 
     def inject(self, sim: Simulator, rng: random.Random) -> Optional[dict]:
         if self._pair is not None:
@@ -158,8 +163,7 @@ class CrashRestart(Fault):
             victim = rng.choice(candidates)
         sim.crash_node(victim)
         self._down = victim
-        return {"node": str(victim),
-                "restart": self.duration is not None}
+        return {"node": str(victim), "restart": self.duration is not None}
 
     def heal(self, sim: Simulator) -> Optional[dict]:
         if self._down is None:
@@ -197,8 +201,7 @@ class ClockSkew(Fault):
         node = sim.nodes[victim]
         for _ in range(self.amount):
             node.clock.advance()
-        return {"node": str(victim), "advanced": self.amount,
-                "clock": node.clock.value}
+        return {"node": str(victim), "advanced": self.amount, "clock": node.clock.value}
 
 
 # ------------------------------------------------------------- message faults
@@ -210,13 +213,15 @@ class _DelayInterceptor(MessageInterceptor):
         self.max_extra = max_extra
         self.affected = 0
 
-    def transform(self, message: Message, plan: list[float],
-                  rng: random.Random) -> list[float]:
+    def transform(
+        self, message: Message, plan: list[float], rng: random.Random
+    ) -> list[float]:
         if not plan:
             return plan
         self.affected += 1
-        return [latency + rng.uniform(self.min_extra, self.max_extra)
-                for latency in plan]
+        return [
+            latency + rng.uniform(self.min_extra, self.max_extra) for latency in plan
+        ]
 
 
 class _ReorderInterceptor(MessageInterceptor):
@@ -225,8 +230,9 @@ class _ReorderInterceptor(MessageInterceptor):
         self.window = window
         self.affected = 0
 
-    def transform(self, message: Message, plan: list[float],
-                  rng: random.Random) -> list[float]:
+    def transform(
+        self, message: Message, plan: list[float], rng: random.Random
+    ) -> list[float]:
         if not plan or rng.random() >= self.probability:
             return plan
         self.affected += 1
@@ -238,8 +244,9 @@ class _DupInterceptor(MessageInterceptor):
         self.probability = probability
         self.affected = 0
 
-    def transform(self, message: Message, plan: list[float],
-                  rng: random.Random) -> list[float]:
+    def transform(
+        self, message: Message, plan: list[float], rng: random.Random
+    ) -> list[float]:
         # Control-plane messages are idempotent by construction; duplicating
         # them only inflates bandwidth accounting, so target service traffic.
         if not plan or message.control or rng.random() >= self.probability:
@@ -253,7 +260,8 @@ class _InterceptorFault(Fault):
     """Shared lifecycle for faults that install a message interceptor."""
 
     _interceptor: Optional[MessageInterceptor] = field(
-        default=None, init=False, repr=False)
+        default=None, init=False, repr=False
+    )
 
     def make_interceptor(self) -> MessageInterceptor:
         raise NotImplementedError

@@ -16,6 +16,13 @@ from ..properties.base import (
 from .search import PredictedViolation, SearchBudget, SearchResult, SearchStats
 from .transition import TransitionConfig, TransitionSystem
 from .exhaustive import find_errors
+from .falsify import (
+    FalsificationEngine,
+    FalsificationResult,
+    MinimizationResult,
+    greedy_minimize,
+    seeded_candidates,
+)
 from .random_walk import random_walk_search
 from .parallel import (
     ParallelEngine,
@@ -42,6 +49,11 @@ __all__ = [
     "TransitionConfig",
     "TransitionSystem",
     "find_errors",
+    "FalsificationEngine",
+    "FalsificationResult",
+    "MinimizationResult",
+    "greedy_minimize",
+    "seeded_candidates",
     "random_walk_search",
     "ParallelEngine",
     "PortfolioResult",

@@ -1,0 +1,156 @@
+"""Falsification-driven counterexample search and trace minimization.
+
+Exhaustive model checking (the rest of :mod:`repro.mc`) asks "does any
+reachable state violate a property?".  Falsification flips the workflow:
+given one *named* property (validated against the PR 5 registry), hunt for
+a single concrete execution that violates it — an *attack* — and then
+shrink the violating schedule with greedy delta debugging until every
+remaining element is load-bearing.
+
+Both halves are deliberately generic: a *candidate* is any schedule-like
+value, *execute* runs one candidate end to end and returns evidence of a
+violation (or ``None``), and *reducers* propose smaller candidates.  The
+:mod:`repro.attack` package instantiates them with concretized fault
+schedules and seeded live runs; tests instantiate them with toy functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from ..properties import select_properties
+
+#: ``execute(candidate) -> evidence | None`` — run one candidate; truthy
+#: evidence means the target property was violated.
+Executor = Callable[[Any], Optional[Any]]
+
+#: ``reducer(candidate) -> iterable of strictly smaller candidates``.
+Reducer = Callable[[Any], Iterable[Any]]
+
+
+@dataclass
+class FalsificationResult:
+    """Outcome of a counterexample hunt."""
+
+    property_id: str
+    found: bool
+    #: The violating candidate (None when the search came up empty).
+    candidate: Any = None
+    #: Whatever the executor returned for the violating candidate.
+    evidence: Any = None
+    #: Candidates executed before (and including) the first violation.
+    attempts: int = 0
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of greedy delta debugging on one violating candidate."""
+
+    candidate: Any
+    evidence: Any
+    #: Re-executions spent confirming/refuting reduction proposals.
+    executions: int = 0
+    #: Accepted reductions, in order (reducer name per step).
+    reductions: list[str] = field(default_factory=list)
+
+
+class FalsificationEngine:
+    """Hunts for a counterexample to one named property.
+
+    Parameters
+    ----------
+    property_id:
+        The registry id of the property under attack; validated against
+        the global property registry up front so a typo fails fast.
+    execute:
+        Runs one candidate and returns violation evidence or ``None``.
+    candidates:
+        Iterable (usually a generator of increasingly different seeded
+        schedules) of candidates to try, in order.
+    max_attempts:
+        Upper bound on executed candidates; ``None`` drains ``candidates``.
+    """
+
+    def __init__(
+        self,
+        property_id: str,
+        execute: Executor,
+        candidates: Iterable[Any],
+        *,
+        max_attempts: Optional[int] = None,
+    ) -> None:
+        # Fail fast on unknown ids — same validation the CLI/campaign use.
+        select_properties(property_id)
+        self.property_id = property_id
+        self.execute = execute
+        self.candidates = candidates
+        self.max_attempts = max_attempts
+
+    def falsify(self) -> FalsificationResult:
+        attempts = 0
+        for candidate in self.candidates:
+            if self.max_attempts is not None and attempts >= self.max_attempts:
+                break
+            attempts += 1
+            evidence = self.execute(candidate)
+            if evidence is not None:
+                return FalsificationResult(
+                    property_id=self.property_id,
+                    found=True,
+                    candidate=candidate,
+                    evidence=evidence,
+                    attempts=attempts,
+                )
+        return FalsificationResult(
+            property_id=self.property_id, found=False, attempts=attempts
+        )
+
+
+def greedy_minimize(
+    candidate: Any,
+    evidence: Any,
+    reducers: Sequence[tuple[str, Reducer]],
+    execute: Executor,
+    *,
+    max_executions: int = 256,
+) -> MinimizationResult:
+    """Greedy delta debugging: accept any reduction that still violates.
+
+    Each reducer proposes strictly smaller variants of the current
+    candidate; the first variant whose re-execution still produces
+    evidence becomes the new candidate and the scan restarts.  The loop
+    ends at a fixpoint (no reducer can shrink further) or at the execution
+    budget.  Greedy 1-minimality, not global optimality — the classic
+    ddmin trade-off: every re-execution is a full seeded run, so the
+    budget matters more than the last dropped step.
+    """
+    result = MinimizationResult(candidate=candidate, evidence=evidence)
+    progress = True
+    while progress and result.executions < max_executions:
+        progress = False
+        for name, reducer in reducers:
+            for smaller in reducer(result.candidate):
+                if result.executions >= max_executions:
+                    break
+                result.executions += 1
+                smaller_evidence = execute(smaller)
+                if smaller_evidence is not None:
+                    result.candidate = smaller
+                    result.evidence = smaller_evidence
+                    result.reductions.append(name)
+                    progress = True
+                    break
+            if progress:
+                break
+    return result
+
+
+def seeded_candidates(make: Callable[[int], Any], start: int = 0) -> Iterator[Any]:
+    """Infinite candidate stream ``make(start), make(start+1), ...`` —
+    the usual input to :class:`FalsificationEngine` (bounded by its
+    ``max_attempts``)."""
+    seed = start
+    while True:
+        yield make(seed)
+        seed += 1

@@ -125,6 +125,19 @@ class NetworkModel:
             plan = interceptor.transform(message, plan, rng)
         return plan
 
+    def rewrite_message(self, message: "Message",
+                        rng: random.Random) -> "Message":
+        """Give every interceptor a chance to replace the message content.
+
+        Byzantine faults (tampering, spoofing, equivocation) act here; the
+        default :meth:`~repro.faults.base.MessageInterceptor.rewrite` is
+        the identity and consumes no RNG state, so benign fault schedules
+        are unchanged.
+        """
+        for interceptor in self.interceptors:
+            message = interceptor.rewrite(message, rng)
+        return message
+
     # -- partitions -------------------------------------------------------------
 
     def partition(self, a: Address, b: Address) -> None:

@@ -493,8 +493,12 @@ class Simulator:
                 return
             # Fault interceptors act on messages that survived the loss
             # draw, so `messages_affected` counts delivered traffic only.
-            plan = (self.network.plan_deliveries(stamped, latency, self.rng)
-                    if self.network.interceptors else [latency])
+            if self.network.interceptors:
+                stamped = self.network.rewrite_message(stamped, self.rng)
+                plan = self.network.plan_deliveries(stamped, latency,
+                                                    self.rng)
+            else:
+                plan = [latency]
             for delivery_latency in plan:
                 self._schedule_delivery(self.now + delivery_latency, stamped)
             return
@@ -515,8 +519,11 @@ class Simulator:
         if recorded is None:
             node.connections.establish(stamped.dst, dest.incarnation)
             dest.connections.establish(node.addr, node.incarnation)
-        plan = (self.network.plan_deliveries(stamped, latency, self.rng)
-                if self.network.interceptors else [latency])
+        if self.network.interceptors:
+            stamped = self.network.rewrite_message(stamped, self.rng)
+            plan = self.network.plan_deliveries(stamped, latency, self.rng)
+        else:
+            plan = [latency]
         key = (stamped.src, stamped.dst)
         # TCP stays FIFO per stream even under fault interceptors: every
         # planned copy is delivered no earlier than the previous delivery.
@@ -576,8 +583,12 @@ class Simulator:
             if self.rng.random() < loss:
                 self._record_drop(stamped, "loss")
                 continue
-            plan = (self.network.plan_deliveries(stamped, latency, self.rng)
-                    if self.network.interceptors else [latency])
+            if self.network.interceptors:
+                stamped = self.network.rewrite_message(stamped, self.rng)
+                plan = self.network.plan_deliveries(stamped, latency,
+                                                    self.rng)
+            else:
+                plan = [latency]
             for delivery_latency in plan:
                 did = next(self._delivery_ids)
                 if not stamped.control:

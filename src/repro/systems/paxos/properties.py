@@ -88,10 +88,21 @@ EVENTUALLY_CHOSEN = leads_to(
                 "somewhere within 45 s of simulated time.",
     tags=("consensus",))
 
+#: ``paxos.agreement`` — the same predicate as AT_MOST_ONE_VALUE_CHOSEN
+#: under the classic name, registered as the falsification target of the
+#: byzantine attack tooling (``python -m repro attack paxos --property
+#: paxos.agreement``).  Not part of the default check set, so regular live
+#: runs don't report the same violation twice.
+AGREEMENT = SafetyProperty(
+    "paxos.agreement", _agreement,
+    "Agreement: at most one value is ever chosen (alias of "
+    "paxos.at_most_one_value_chosen used as an attack target).",
+    severity="critical", tags=("consensus", "agreement", "attack-target"))
+
 ALL_PROPERTIES: list[SafetyProperty] = [
     AT_MOST_ONE_VALUE_CHOSEN,
     LOCAL_AGREEMENT,
     ACCEPTED_IMPLIES_PROMISED,
 ]
 
-register_properties(ALL_PROPERTIES + [EVENTUALLY_CHOSEN])
+register_properties(ALL_PROPERTIES + [EVENTUALLY_CHOSEN, AGREEMENT])

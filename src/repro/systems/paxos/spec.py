@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+import random
+from dataclasses import replace
+from typing import Any, Mapping, Optional, Sequence
 
 from ...api.experiment import make_fault_scenario_runner
 from ...api.registry import (
@@ -16,6 +18,7 @@ from ...faults.types import CrashRestart, MessageDelay
 from ...mc.search import SearchBudget
 from ...mc.transition import TransitionConfig
 from ...runtime.address import Address
+from ...runtime.messages import Message
 from ...workload import TrafficSpec, WorkloadSpec
 from .properties import ALL_PROPERTIES
 from .protocol import Paxos, PaxosConfig
@@ -62,6 +65,35 @@ def _collect(sim) -> dict:
     return {"chosen_values": sorted(chosen),
             "chosen_by_node": per_node,
             "agreement_held": len(chosen) <= 1}
+
+
+#: Poison values injected by the byzantine mutator sit far outside the
+#: honest proposal range (0/1), so an attack-chosen value is unmistakable
+#: in reports.
+_POISON_BASE = 600
+
+
+def _message_mutator(message: Message, rng: random.Random,
+                     variant: int) -> Optional[Message]:
+    """Protocol-aware byzantine rewrite (see :mod:`repro.faults.byzantine`).
+
+    A tampered/equivocated ``Promise`` fabricates a sky-high accepted
+    round carrying a poisoned value — a leader that trusts the lie is
+    forced (by the Paxos value-selection rule itself) to propose the
+    poison.  ``Accept``/``Learn`` rewrites replace the value outright, so
+    an equivocating acceptor tells every peer a different decision.  The
+    ``variant`` index parameterizes the lie; per-destination variants are
+    what make the lies *conflicting*.
+    """
+    payload = dict(message.payload)
+    if message.mtype == "Promise" and "accepted_round" in payload:
+        payload["accepted_round"] = (10 ** 6 + variant, 0)
+        payload["accepted_value"] = _POISON_BASE + variant
+    elif message.mtype in ("Accept", "Learn") and "value" in payload:
+        payload["value"] = _POISON_BASE + variant
+    else:
+        return None
+    return replace(message, payload=payload)
 
 
 def _run_figure13(bug: int):
@@ -150,4 +182,5 @@ SPEC = register_system(SystemSpec(
     search_budget_factory=lambda: SearchBudget(max_states=500, max_depth=8),
     schedule=_schedule,
     collect=_collect,
+    message_mutator=_message_mutator,
 ))

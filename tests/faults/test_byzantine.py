@@ -1,0 +1,192 @@
+"""Unit tests for the byzantine fault types (repro.faults.byzantine)."""
+
+import random
+
+from repro.faults import (
+    EquivocatingNode,
+    MessageTamper,
+    Nemesis,
+    SpoofSender,
+    generic_mutator,
+)
+from repro.faults.presets import resolve_preset
+from repro.runtime import Message, make_addresses
+
+A = make_addresses(4)
+
+
+def _msg(src, dst, mtype="Ping", payload=None, **kwargs):
+    return Message(mtype=mtype, src=src, dst=dst,
+                   payload=payload if payload is not None else {"seq": 1},
+                   **kwargs)
+
+
+# -- generic mutator ---------------------------------------------------------
+
+def test_generic_mutator_perturbs_one_int_field():
+    message = _msg(A[0], A[1],
+                   payload={"seq": 5, "name": "x", "flag": True})
+    mutated = generic_mutator(message, random.Random(0), variant=2)
+    assert mutated is not None
+    assert mutated.payload["seq"] == 5 + 1 + 2
+    # Non-int fields (and bools) stay untouched.
+    assert mutated.payload["name"] == "x"
+    assert mutated.payload["flag"] is True
+
+
+def test_generic_mutator_declines_without_mutable_fields():
+    message = _msg(A[0], A[1], payload={"name": "x", "flag": False})
+    assert generic_mutator(message, random.Random(0), 0) is None
+
+
+# -- interceptor behaviour ---------------------------------------------------
+
+def test_tamper_interceptor_rewrites_matching_service_traffic(ping_sim):
+    sim, addrs = ping_sim
+    fault = MessageTamper(at=1.0, probability=1.0, variants=1)
+    fault.inject(sim, random.Random(1))
+    interceptor = sim.network.interceptors[-1]
+    rewritten = interceptor.rewrite(_msg(addrs[0], addrs[1]),
+                                    random.Random(99))
+    assert rewritten.payload["seq"] != 1
+    assert interceptor.affected == 1
+
+
+def test_tamper_skips_control_and_foreign_mtypes(ping_sim):
+    sim, addrs = ping_sim
+    fault = MessageTamper(at=1.0, probability=1.0, mtypes=("Other",))
+    fault.inject(sim, random.Random(1))
+    interceptor = sim.network.interceptors[-1]
+    control = _msg(addrs[0], addrs[1], control=True)
+    assert interceptor.rewrite(control, random.Random(0)) is control
+    ping = _msg(addrs[0], addrs[1])  # mtype not in the filter
+    assert interceptor.rewrite(ping, random.Random(0)) is ping
+    assert interceptor.affected == 0
+
+
+def test_byzantine_rewrite_never_consumes_the_simulator_rng(ping_sim):
+    sim, addrs = ping_sim
+    fault = MessageTamper(at=1.0, probability=1.0)
+    fault.inject(sim, random.Random(1))
+    interceptor = sim.network.interceptors[-1]
+    sim_rng = random.Random(42)
+    before = sim_rng.getstate()
+    interceptor.rewrite(_msg(addrs[0], addrs[1]), sim_rng)
+    assert sim_rng.getstate() == before
+
+
+def test_spoof_forges_a_live_source_address(ping_sim):
+    sim, addrs = ping_sim
+    fault = SpoofSender(at=1.0, probability=1.0)
+    fault.inject(sim, random.Random(2))
+    interceptor = sim.network.interceptors[-1]
+    message = _msg(addrs[0], addrs[1])
+    forged = interceptor.rewrite(message, random.Random(0))
+    assert forged.src != addrs[0]
+    assert forged.src in addrs
+    # Payload and destination are untouched: spoofing forges provenance.
+    assert forged.dst == addrs[1]
+    assert forged.payload == message.payload
+
+
+def test_spoof_declines_without_a_candidate_pool(ping_sim_factory):
+    sim, addrs = ping_sim_factory(node_count=1)
+    fault = SpoofSender(at=1.0, probability=1.0)
+    assert fault.inject(sim, random.Random(0)) is None
+    assert not sim.network.interceptors
+
+
+def test_equivocation_feeds_each_destination_a_stable_distinct_lie(ping_sim):
+    sim, addrs = ping_sim
+    fault = EquivocatingNode(at=1.0, target=0)
+    fault.inject(sim, random.Random(3))
+    interceptor = sim.network.interceptors[-1]
+    liar = sorted(sim.nodes)[0]
+    by_dst = {}
+    for dst in addrs[1:]:
+        values = {
+            interceptor.rewrite(_msg(liar, dst),
+                                random.Random(0)).payload["seq"]
+            for _ in range(3)
+        }
+        assert len(values) == 1  # same destination, same lie, every time
+        by_dst[dst] = values.pop()
+    # Different destinations observe conflicting payloads.
+    assert len(set(by_dst.values())) > 1
+    # Traffic not from the liar passes through untouched.
+    honest = _msg(addrs[1], addrs[2])
+    assert interceptor.rewrite(honest, random.Random(0)) is honest
+
+
+def test_equivocation_target_pins_the_liar(ping_sim_factory):
+    for seed in (0, 17, 99):
+        sim, addrs = ping_sim_factory()
+        fault = EquivocatingNode(at=1.0, target=2)
+        detail = fault.inject(sim, random.Random(seed))
+        assert detail == {"liar": str(sorted(sim.nodes)[2])}
+
+
+# -- window lifecycle and reproducibility ------------------------------------
+
+def test_heal_removes_interceptor_and_reports_affected_count(ping_sim):
+    sim, addrs = ping_sim
+    fault = MessageTamper(at=1.0, probability=1.0)
+    fault.inject(sim, random.Random(1))
+    interceptor = sim.network.interceptors[-1]
+    interceptor.rewrite(_msg(addrs[0], addrs[1]), random.Random(0))
+    detail = fault.heal(sim)
+    assert detail == {"messages_affected": 1}
+    assert interceptor not in sim.network.interceptors
+    assert fault.heal(sim) is None  # idempotent
+
+
+def test_nemesis_byzantine_schedule_is_reproducible(ping_sim_factory):
+    def run():
+        sim, addrs = ping_sim_factory()
+        nemesis = Nemesis(
+            [MessageTamper(at=2.0, duration=3.0, probability=1.0)], seed=5)
+        nemesis.install(sim)
+        sim.run(until=10.0)
+        return [(t, str(src), seq)
+                for addr in addrs
+                for t, src, seq in sim.nodes[addr].state.received]
+
+    assert run() == run()
+
+
+def test_rng_key_pins_draws_independently_of_fault_index(ping_sim_factory):
+    def liar_for(faults, seed):
+        sim, _ = ping_sim_factory()
+        nemesis = Nemesis(faults, seed=seed)
+        nemesis.install(sim)
+        sim.run(until=5.0)
+        return faults[-1]._liar
+
+    def pinned():
+        return EquivocatingNode(at=1.0, duration=2.0, rng_key="k")
+
+    # Same rng_key, different nemesis seed and schedule position: same liar.
+    alone = liar_for([pinned()], seed=1)
+    shifted = liar_for(
+        [MessageTamper(at=0.5, duration=1.0), pinned()], seed=99)
+    assert alone == shifted
+
+
+# -- presets -----------------------------------------------------------------
+
+def test_byzantine_presets_resolve():
+    byzantine = resolve_preset("byzantine", 60.0)
+    assert {type(f) for f in byzantine} == {MessageTamper, SpoofSender}
+    equivocation = resolve_preset("equivocation", 60.0)
+    assert [type(f) for f in equivocation] == [EquivocatingNode]
+
+
+def test_mutator_defaults_to_generic():
+    fault = MessageTamper(at=1.0)
+    assert fault.resolved_mutator() is generic_mutator
+
+    def sentinel(message, rng, variant):
+        return None
+
+    assert MessageTamper(at=1.0, mutator=sentinel).resolved_mutator() \
+        is sentinel

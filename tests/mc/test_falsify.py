@@ -1,0 +1,124 @@
+"""Unit tests for repro.mc.falsify with toy executors (no live runs)."""
+
+import pytest
+
+from repro.mc import (
+    FalsificationEngine,
+    greedy_minimize,
+    seeded_candidates,
+)
+
+# Any registered property id works for the engine's up-front validation;
+# the toy executors never run the property itself.
+PROPERTY = "paxos.agreement"
+
+
+def test_engine_rejects_unknown_property_up_front():
+    with pytest.raises(ValueError, match="no registered"):
+        FalsificationEngine("no.such.property", lambda c: None, [])
+
+
+def test_falsify_stops_at_first_violating_candidate():
+    executed = []
+
+    def execute(candidate):
+        executed.append(candidate)
+        return "boom" if candidate >= 3 else None
+
+    engine = FalsificationEngine(
+        PROPERTY, execute, seeded_candidates(lambda seed: seed))
+    result = engine.falsify()
+    assert result.found
+    assert result.candidate == 3
+    assert result.evidence == "boom"
+    assert result.attempts == 4
+    assert executed == [0, 1, 2, 3]  # nothing past the first violation
+
+
+def test_falsify_respects_the_attempt_budget():
+    engine = FalsificationEngine(
+        PROPERTY, lambda candidate: None,
+        seeded_candidates(lambda seed: seed), max_attempts=5)
+    result = engine.falsify()
+    assert not result.found
+    assert result.attempts == 5
+    assert result.candidate is None
+
+
+def test_falsify_drains_finite_candidates_without_budget():
+    result = FalsificationEngine(
+        PROPERTY, lambda candidate: None, [1, 2, 3]).falsify()
+    assert not result.found
+    assert result.attempts == 3
+
+
+# -- greedy_minimize ---------------------------------------------------------
+
+def _drop_one(candidate):
+    """Propose every variant with one element removed."""
+    for index in range(len(candidate)):
+        yield candidate[:index] + candidate[index + 1:]
+
+
+def test_greedy_minimize_reaches_the_1_minimal_core():
+    # The "violation" needs both 3 and 5; everything else is noise.
+    def execute(candidate):
+        return "boom" if {3, 5} <= set(candidate) else None
+
+    result = greedy_minimize(
+        (1, 3, 2, 5, 4), "boom", [("drop", _drop_one)], execute)
+    assert sorted(result.candidate) == [3, 5]
+    assert result.evidence == "boom"
+    assert result.reductions == ["drop"] * 3
+    assert result.executions > 0
+
+
+def test_greedy_minimize_keeps_original_when_nothing_shrinks():
+    def execute(candidate):
+        return "boom" if len(candidate) >= 3 else None
+
+    result = greedy_minimize(
+        (1, 2, 3), "orig", [("drop", _drop_one)], execute)
+    assert result.candidate == (1, 2, 3)
+    assert result.evidence == "orig"
+    assert result.reductions == []
+
+
+def test_greedy_minimize_stops_at_the_execution_budget():
+    calls = []
+
+    def execute(candidate):
+        calls.append(candidate)
+        return "boom"  # everything "violates": unbounded greed
+
+    result = greedy_minimize(
+        tuple(range(10)), "boom", [("drop", _drop_one)], execute,
+        max_executions=4)
+    assert result.executions == 4
+    assert len(calls) == 4
+    # Each accepted reduction dropped exactly one element.
+    assert len(result.candidate) == 10 - len(result.reductions)
+
+
+def test_greedy_minimize_tries_reducers_in_order():
+    accepted = []
+
+    def execute(candidate):
+        return "boom"
+
+    def noop(candidate):
+        return iter(())  # proposes nothing; next reducer gets its turn
+
+    def shrink(candidate):
+        if candidate:
+            yield candidate[1:]
+
+    result = greedy_minimize(
+        (1, 2), "boom", [("noop", noop), ("shrink", shrink)], execute)
+    assert result.candidate == ()
+    assert result.reductions == ["shrink", "shrink"]
+
+
+def test_seeded_candidates_starts_at_offset():
+    stream = seeded_candidates(lambda seed: seed * 10, start=3)
+    assert [next(stream) for _ in range(3)] == [30, 40, 50]
